@@ -1,0 +1,84 @@
+"""Ablation: self-adaptation timeline under changing network conditions.
+
+IFLOW's middleware "re-triggers the query optimization algorithm when
+the changes in network, load or data conditions demand recomputing".
+This bench plays a condition-change scenario -- congestion spikes on the
+hottest links at fixed epochs -- against (a) a static system that never
+adapts and (b) the adaptive middleware, and reports the cost timeline.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_text
+from repro.core.optimizer import deploy_query
+from repro.experiments.harness import build_env
+from repro.runtime.engine import FlowEngine
+from repro.runtime.middleware import AdaptiveMiddleware
+from repro.workload.generator import WorkloadParams
+
+
+def _run_scenario(adapt: bool, seed: int = 19):
+    params = WorkloadParams(num_streams=8, num_queries=10, joins_per_query=(1, 4))
+    env = build_env(32, params, max_cs_values=(8,), seed=seed)
+    net = env.network.copy()
+    # rebuild against the copied network so mutations stay local
+    from repro.hierarchy import build_hierarchy
+    from repro.core.top_down import TopDownOptimizer
+
+    hierarchy = build_hierarchy(net, max_cs=8, seed=0)
+    optimizer = TopDownOptimizer(hierarchy, env.rates)
+    engine = FlowEngine(net, env.rates)
+    for query in env.workload:
+        engine.deploy(optimizer.plan(query, engine.state))
+    middleware = AdaptiveMiddleware(engine, optimizer, improvement_threshold=0.03)
+
+    import networkx as nx
+
+    bridges = set()
+    for u, v in nx.bridges(net.to_networkx()):
+        bridges.add((min(u, v), max(u, v)))
+
+    timeline = [engine.total_cost()]
+    rng = np.random.default_rng(seed)
+    for epoch in range(4):
+        # congest the hottest link that has an alternative path (a
+        # congested bridge is unavoidable for everyone, adaptive or not)
+        hot = next(
+            (l for l in engine.hottest_links(10) if (l.u, l.v) not in bridges),
+            engine.hottest_links(1)[0],
+        )
+        net.set_link_cost(hot.u, hot.v, hot.cost * float(rng.uniform(20, 40)))
+        if adapt:
+            middleware.run_epoch(time=float(epoch))
+        else:
+            engine.refresh_network(time=float(epoch))
+        timeline.append(engine.total_cost())
+    return timeline
+
+
+def test_adaptation_timeline(benchmark):
+    static = _run_scenario(adapt=False)
+    adaptive = _run_scenario(adapt=True)
+
+    lines = [
+        "cost timeline under repeated congestion events (4 epochs)",
+        "",
+        f"  {'epoch':>6} {'static':>14} {'adaptive':>14} {'saving':>8}",
+    ]
+    for i, (s, a) in enumerate(zip(static, adaptive)):
+        saving = 100 * (1 - a / s) if s else 0.0
+        lines.append(f"  {i:>6} {s:>14,.0f} {a:>14,.0f} {saving:>7.1f}%")
+    savings = [
+        100 * (1 - a / s) for s, a in zip(static[1:], adaptive[1:]) if s
+    ]
+    lines.append(
+        f"  best epoch saving {max(savings):.1f}%; savings shrink as repeated"
+        " congestion exhausts the backbone's alternative paths"
+    )
+    save_text("ablation_adaptivity", "\n".join(lines))
+
+    assert adaptive[0] == static[0]  # same initial deployment
+    assert adaptive[-1] < static[-1]  # adaptation pays off by the end
+    assert max(savings) > 10.0  # clear win while alternatives exist
+
+    benchmark(lambda: _run_scenario(adapt=True))

@@ -1,0 +1,38 @@
+"""Ablation: the analytical formulas (Lemma 1, beta, Theorems 2/4).
+
+Prints the search-space table for representative (K, N, max_cs)
+configurations, including the paper's worked example (K=4 streams,
+N=1000 nodes, max_cs=10).
+"""
+
+from benchmarks.conftest import save_text
+from repro.core.bounds import beta, exhaustive_space, hierarchy_height, top_down_space_bound
+
+
+def test_bounds_table(benchmark):
+    lines = [
+        "Lemma 1 / Theorem 2+4 search-space table",
+        "",
+        f"{'K':>3} {'N':>6} {'max_cs':>7} {'height':>7} {'exhaustive':>14} {'bound':>12} {'beta':>12}",
+    ]
+    rows = [
+        (4, 1000, 10),
+        (4, 128, 32),
+        (4, 1024, 32),
+        (5, 128, 32),
+        (6, 1024, 32),
+        (3, 64, 8),
+    ]
+    for k, n, cs in rows:
+        h = hierarchy_height(n, cs)
+        ex = exhaustive_space(k, n)
+        bound = top_down_space_bound(k, n, cs)
+        b = beta(k, n, cs)
+        lines.append(
+            f"{k:>3} {n:>6} {cs:>7} {h:>7} {ex:>14.4g} {bound:>12.4g} {b:>12.4g}"
+        )
+        assert bound <= ex
+        assert 0 < b <= 1.0 or cs >= n
+    save_text("ablation_bounds", "\n".join(lines))
+
+    benchmark(lambda: [top_down_space_bound(k, n, cs) for k, n, cs in rows])

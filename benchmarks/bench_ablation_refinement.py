@@ -1,0 +1,51 @@
+"""Ablation: local-search refinement as a post-pass.
+
+How much of Bottom-Up's and the phased baselines' placement gap does a
+cheap single-operator hill-climbing pass recover?  (Related to the
+paper's future-work interest in run-time plan migrations: each accepted
+move is exactly an operator migration.)
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_text
+from repro.core.cost import deployment_cost
+from repro.core.refinement import refine_placement
+from repro.experiments.harness import build_env
+from repro.workload.generator import WorkloadParams
+
+
+def test_refinement_recovers_placement_gap(benchmark):
+    params = WorkloadParams(num_streams=8, num_queries=12, joins_per_query=(2, 4))
+    env = build_env(64, params, max_cs_values=(8,), seed=13)
+    costs = env.network.cost_matrix()
+
+    lines = ["single-operator hill climbing as a post-pass (12 queries)", ""]
+    optimal_total = sum(
+        deployment_cost(env.optimizer("optimal").plan(q), costs, env.rates)
+        for q in env.workload
+    )
+    lines.append(f"  {'optimal':<18} {optimal_total:>12,.0f}")
+    for name in ("bottom-up", "relaxation", "random"):
+        optimizer = env.optimizer(name, max_cs=8, **({"reuse": False} if name != "random" else {}))
+        before = after = moves_total = 0.0
+        for query in env.workload:
+            deployment = optimizer.plan(query)
+            refined, moves = refine_placement(deployment, costs, env.rates)
+            before += deployment_cost(deployment, costs, env.rates)
+            after += deployment_cost(refined, costs, env.rates)
+            moves_total += moves
+        gap_before = before - optimal_total
+        gap_after = after - optimal_total
+        recovered = 100 * (1 - gap_after / gap_before) if gap_before > 0 else 0.0
+        lines.append(
+            f"  {name:<18} {before:>12,.0f} -> {after:>12,.0f}"
+            f"  ({moves_total:.0f} moves, {recovered:5.1f}% of gap recovered)"
+        )
+        assert after <= before + 1e-6
+    save_text("ablation_refinement", "\n".join(lines))
+
+    query = env.workload.queries[0]
+    optimizer = env.optimizer("random")
+    deployment = optimizer.plan(query)
+    benchmark(lambda: refine_placement(deployment, costs, env.rates))

@@ -1,0 +1,97 @@
+"""Ablation: how much estimation noise can the optimizer tolerate?
+
+The paper assumes rates/selectivities are "estimated ... perhaps
+gathered from historical observations".  This bench sweeps the
+observation window of the simulated statistics monitors and measures the
+*realized* (true-statistics) cost of plans computed from the noisy
+estimates, relative to planning with the truth.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_text
+from repro.core.cost import RateModel, deployment_cost
+from repro.core.exhaustive import OptimalPlanner
+from repro.network.topology import transit_stub_by_size
+from repro.query.deployment import Deployment
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import StreamSpec
+from repro.workload.statistics import estimate_statistics
+
+
+def _setup(seed):
+    rng = np.random.default_rng(seed)
+    net = transit_stub_by_size(48, seed=131)
+    names = [f"S{i}" for i in range(6)]
+    streams = {
+        n: StreamSpec(n, int(rng.integers(0, 48)), float(rng.uniform(40, 140)))
+        for n in names
+    }
+    sel = {}
+    for i in range(6):
+        for j in range(i + 1, 6):
+            sel[frozenset((names[i], names[j]))] = float(rng.uniform(0.005, 0.03))
+
+    def make_query(qi):
+        srcs = sorted(rng.choice(names, size=3, replace=False))
+        return srcs, int(rng.integers(0, 48))
+
+    queries = [make_query(i) for i in range(8)]
+    return net, names, streams, sel, queries
+
+
+def _build_query(name, srcs, sink, sel_lookup):
+    preds = [
+        JoinPredicate(srcs[i], srcs[i + 1], sel_lookup(frozenset((srcs[i], srcs[i + 1]))))
+        for i in range(len(srcs) - 1)
+    ]
+    return Query(name, srcs, sink=sink, predicates=preds)
+
+
+def test_estimation_noise_tolerance(benchmark):
+    net, names, streams, sel, queries = _setup(7)
+    costs = net.cost_matrix()
+    true_rates = RateModel(streams)
+
+    def realized_total(observation_time, seed):
+        if observation_time is None:
+            est_streams, est_sel = streams, sel
+        else:
+            est = estimate_statistics(streams, sel, observation_time, seed=seed)
+            est_streams, est_sel = est.streams, est.selectivities
+        est_rates = RateModel(est_streams)
+        planner = OptimalPlanner(net, est_rates, reuse=False)
+        total = 0.0
+        for i, (srcs, sink) in enumerate(queries):
+            est_query = _build_query(f"q{i}", srcs, sink, lambda p: est_sel.get(p, 1.0))
+            plan = planner.plan(est_query)
+            true_query = _build_query(f"q{i}", srcs, sink, lambda p: sel[p])
+            realized = Deployment(
+                query=true_query,
+                plan=plan.plan,
+                placement=dict(plan.placement),
+            )
+            total += deployment_cost(realized, costs, true_rates)
+        return total
+
+    truth = realized_total(None, 0)
+    lines = [
+        "planning with estimated statistics (realized cost vs truth-planned)",
+        "",
+        f"  {'observation window':>20} {'realized cost':>14} {'penalty':>9}",
+        f"  {'(perfect stats)':>20} {truth:>14,.0f} {'-':>9}",
+    ]
+    penalties = {}
+    for window in (1.0, 5.0, 25.0, 100.0):
+        vals = [realized_total(window, s) for s in range(3)]
+        mean = float(np.mean(vals))
+        penalties[window] = 100 * (mean / truth - 1)
+        lines.append(f"  {window:>20} {mean:>14,.0f} {penalties[window]:>8.2f}%")
+    save_text("ablation_statistics", "\n".join(lines))
+
+    # estimated plans can never beat truth-planned plans (evaluated at truth)
+    assert all(p >= -1.0 for p in penalties.values())
+    # with a long window the penalty should be small
+    assert penalties[100.0] < 10.0
+
+    benchmark(lambda: estimate_statistics(streams, sel, 10.0, seed=1))

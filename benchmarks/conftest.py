@@ -1,0 +1,69 @@
+"""Shared benchmark plumbing.
+
+Every figure bench saves its rendered series table under
+``benchmarks/results/`` and the terminal-summary hook replays the tables
+at the end of the run, so ``pytest benchmarks/ --benchmark-only`` output
+contains the regenerated paper figures even with output capture on.
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale averaging (more workloads);
+the default scale keeps the full suite in a few minutes while preserving
+every qualitative result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+
+def bench_scale(full_value: int, quick_value: int) -> int:
+    """Pick a knob value depending on REPRO_BENCH_FULL."""
+    return full_value if FULL else quick_value
+
+
+def save_result(result, extra: str = "") -> str:
+    """Render a FigureResult, save it, and return the rendered text."""
+    from repro.experiments.reporting import format_series_table, format_summary
+
+    lines = [
+        "=" * 72,
+        f"[{result.figure}] {result.title}",
+        "=" * 72,
+        format_series_table(result),
+    ]
+    if result.summary:
+        lines.append("paper-vs-measured headlines:")
+        lines.append(format_summary(result))
+    if extra:
+        lines.append(extra)
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.figure}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{result.figure}.json").write_text(result.to_json() + "\n")
+    print(text)
+    return text
+
+
+def save_text(name: str, text: str) -> None:
+    """Save a free-form ablation report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every saved figure table into the (uncaptured) summary."""
+    if not RESULTS_DIR.exists():
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("#" * 72)
+    terminalreporter.write_line("# Regenerated paper figures (also in benchmarks/results/)")
+    terminalreporter.write_line("#" * 72)
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        terminalreporter.write_line(path.read_text())

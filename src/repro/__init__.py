@@ -1,0 +1,150 @@
+"""repro -- reproduction of *Optimizing Multiple Distributed Stream
+Queries Using Hierarchical Network Partitions* (IPDPS 2007).
+
+The package implements the paper's joint query-plan + deployment
+optimization for multiple continuous stream queries, including the
+Top-Down and Bottom-Up hierarchical algorithms, the optimal reference
+planner, the phased baselines it is compared against, the network and
+runtime substrates, and a per-figure experiment harness.
+
+Quickstart::
+
+    import repro
+
+    net = repro.transit_stub_by_size(64, seed=1)
+    hierarchy = repro.build_hierarchy(net, max_cs=16, seed=0)
+    workload = repro.generate_workload(net, seed=2)
+    rates = workload.rate_model()
+
+    optimizer = repro.TopDownOptimizer(hierarchy, rates)
+    state = repro.DeploymentState(net.cost_matrix(), rates.rate_for, rates.source)
+    for query in workload:
+        deployment = optimizer.plan(query, state)
+        print(query.name, deployment.plan.pretty(), state.apply(deployment))
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the scripts regenerating every figure in the paper's evaluation.
+"""
+
+from repro.network import (
+    Network,
+    motivating_network,
+    random_geometric,
+    transit_stub,
+    transit_stub_by_size,
+)
+from repro.hierarchy import AdvertisementIndex, Hierarchy, build_hierarchy
+from repro.query import (
+    Deployment,
+    DeploymentState,
+    Filter,
+    Join,
+    JoinPredicate,
+    Leaf,
+    Query,
+    StreamSpec,
+    ViewSignature,
+    parse_query,
+)
+from repro.core import (
+    BottomUpOptimizer,
+    BruteForceSearch,
+    OptimalPlanner,
+    RateModel,
+    TopDownOptimizer,
+    deployment_cost,
+    make_optimizer,
+)
+from repro.core.optimizer import deploy_query
+from repro.core.consolidation import consolidate, shared_views
+from repro.baselines import (
+    InNetworkPlanner,
+    PlanThenDeploy,
+    RandomPlacement,
+    RelaxationPlanner,
+)
+from repro.workload import (
+    Workload,
+    WorkloadParams,
+    airline_ois_scenario,
+    generate_workload,
+)
+from repro.serialization import (
+    network_from_json,
+    network_to_json,
+    query_from_json,
+    query_to_json,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.runtime import (
+    AdaptiveMiddleware,
+    FlowEngine,
+    MetricsLog,
+    Simulator,
+    fail_node,
+    run_dataplane,
+    simulate_deployment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # network
+    "Network",
+    "transit_stub",
+    "transit_stub_by_size",
+    "random_geometric",
+    "motivating_network",
+    # hierarchy
+    "Hierarchy",
+    "build_hierarchy",
+    "AdvertisementIndex",
+    # query model
+    "StreamSpec",
+    "Filter",
+    "JoinPredicate",
+    "Query",
+    "ViewSignature",
+    "Leaf",
+    "Join",
+    "Deployment",
+    "DeploymentState",
+    "parse_query",
+    # optimizers
+    "RateModel",
+    "deployment_cost",
+    "TopDownOptimizer",
+    "BottomUpOptimizer",
+    "OptimalPlanner",
+    "BruteForceSearch",
+    "make_optimizer",
+    "deploy_query",
+    "consolidate",
+    "shared_views",
+    # baselines
+    "PlanThenDeploy",
+    "RelaxationPlanner",
+    "InNetworkPlanner",
+    "RandomPlacement",
+    # workload
+    "Workload",
+    "WorkloadParams",
+    "generate_workload",
+    "airline_ois_scenario",
+    # runtime
+    "Simulator",
+    "simulate_deployment",
+    "FlowEngine",
+    "AdaptiveMiddleware",
+    "MetricsLog",
+    "fail_node",
+    "run_dataplane",
+    "network_to_json",
+    "network_from_json",
+    "query_to_json",
+    "query_from_json",
+    "workload_to_json",
+    "workload_from_json",
+    "__version__",
+]

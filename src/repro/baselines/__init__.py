@@ -1,0 +1,29 @@
+"""Baseline optimizers the paper compares against.
+
+All of these are *phased* "plan, then deploy" approaches (paper Figure
+1a): the join order is chosen first from selectivities alone, and the
+network enters only in the subsequent placement step.
+
+* :mod:`repro.baselines.plan_then_deploy` -- static plan + *optimal*
+  placement (the strongest possible phased approach; Figure 2's
+  "Plan, then deploy" curve) and the shared plan-phase logic.
+* :mod:`repro.baselines.relaxation` -- the Relaxation algorithm
+  (Pietzuch et al., ICDE'06): spring relaxation in a 3-D cost space.
+* :mod:`repro.baselines.in_network` -- network-aware zone-based
+  placement in the spirit of Ahmad & Cetintemel (VLDB'04).
+* :mod:`repro.baselines.random_placement` -- static plan + uniformly
+  random placement (a sanity floor).
+"""
+
+from repro.baselines.plan_then_deploy import PlanThenDeploy, best_static_tree
+from repro.baselines.relaxation import RelaxationPlanner
+from repro.baselines.in_network import InNetworkPlanner
+from repro.baselines.random_placement import RandomPlacement
+
+__all__ = [
+    "PlanThenDeploy",
+    "best_static_tree",
+    "RelaxationPlanner",
+    "InNetworkPlanner",
+    "RandomPlacement",
+]

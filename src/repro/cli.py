@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro figures fig2 fig7          # regenerate selected paper figures
+    repro figures --all              # regenerate every figure
+    repro demo quickstart            # run a built-in demo end to end
+    repro bounds -k 4 -n 1000 --max-cs 10
+    repro plan "SELECT A.x FROM A, B WHERE A.k = B.k" --nodes 32 --sink 5
+
+Everything the CLI does is also available as a library call; the CLI is
+a thin veneer for kicking the tires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+FIGURES = {
+    "fig2": ("figure02_motivation", {}),
+    "fig5": ("figure05_bottom_up_cluster_sweep", {"workloads": 3}),
+    "fig6": ("figure06_top_down_cluster_sweep", {"workloads": 3}),
+    "fig7": ("figure07_suboptimality_and_reuse", {"workloads": 3}),
+    "fig8": ("figure08_baseline_comparison", {"workloads": 3}),
+    "fig9": ("figure09_search_space_scalability", {}),
+    "fig10": ("figure10_deployment_time", {}),
+    "fig11": ("figure11_prototype_cumulative_cost", {}),
+}
+
+DEMOS = ("quickstart", "ois", "sharing", "adaptive")
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+    from repro.experiments.reporting import print_result
+
+    names = list(FIGURES) if args.all or not args.names else args.names
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; choose from {', '.join(FIGURES)}")
+        return 2
+    for name in names:
+        fn_name, kwargs = FIGURES[name]
+        if args.seed is not None:
+            kwargs = {**kwargs, "seed": args.seed}
+        result = getattr(experiments, fn_name)(**kwargs)
+        print_result(result)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    mapping = {
+        "quickstart": "examples.quickstart",
+        "ois": "examples.airline_ois",
+        "sharing": "examples.multi_query_sharing",
+        "adaptive": "examples.adaptive_runtime",
+    }
+    import importlib
+    import importlib.util
+    import pathlib
+
+    # examples/ is shipped alongside the repo, not inside the package;
+    # locate it relative to this file's repository checkout if possible.
+    here = pathlib.Path(__file__).resolve()
+    candidates = [p / "examples" for p in here.parents]
+    example_file = None
+    stem = mapping[args.name].split(".")[-1]
+    for candidate in candidates:
+        path = candidate / f"{stem}.py"
+        if path.exists():
+            example_file = path
+            break
+    if example_file is None:
+        print("examples/ directory not found next to the package; run from a checkout")
+        return 2
+    spec = importlib.util.spec_from_file_location(stem, example_file)
+    assert spec and spec.loader
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.core.bounds import (
+        beta,
+        exhaustive_space,
+        hierarchy_height,
+        top_down_space_bound,
+    )
+
+    h = hierarchy_height(args.nodes, args.max_cs)
+    print(f"K={args.streams} sources, N={args.nodes} nodes, max_cs={args.max_cs} (height {h})")
+    print(f"  exhaustive (Lemma 1):    {exhaustive_space(args.streams, args.nodes):.6g}")
+    print(f"  TD/BU bound (Thm 2/4):   {top_down_space_bound(args.streams, args.nodes, args.max_cs):.6g}")
+    print(f"  beta:                    {beta(args.streams, args.nodes, args.max_cs):.6g}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    import repro
+    from repro.inspect import describe_deployment, render_plan
+
+    net = repro.transit_stub_by_size(args.nodes, seed=args.seed or 0)
+    rng = np.random.default_rng(args.seed or 0)
+    # place each referenced stream on a random node
+    from repro.query.sql import parse_query
+
+    query = parse_query(args.sql, name="cli_query", sink=args.sink)
+    streams = {
+        name: repro.StreamSpec(name, int(rng.integers(0, args.nodes)), 100.0)
+        for name in query.sources
+    }
+    rates = repro.RateModel(streams)
+    hierarchy = repro.build_hierarchy(net, max_cs=args.max_cs, seed=0)
+    optimizer = repro.make_optimizer(args.algorithm, net, rates, hierarchy=hierarchy)
+    deployment = optimizer.plan(query, None)
+    print(render_plan(deployment.plan, deployment.placement))
+    print()
+    print(describe_deployment(deployment, net.cost_matrix(), rates))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical network partitions for distributed stream query optimization",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="*", help=f"figures to run ({', '.join(FIGURES)})")
+    figures.add_argument("--all", action="store_true", help="run every figure")
+    figures.add_argument("--seed", type=int, default=None)
+    figures.set_defaults(func=_cmd_figures)
+
+    demo = sub.add_parser("demo", help="run a built-in demo")
+    demo.add_argument("name", choices=DEMOS)
+    demo.set_defaults(func=_cmd_demo)
+
+    bounds = sub.add_parser("bounds", help="print the analytical search-space bounds")
+    bounds.add_argument("-k", "--streams", type=int, default=4)
+    bounds.add_argument("-n", "--nodes", type=int, default=128)
+    bounds.add_argument("--max-cs", type=int, default=32)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    plan = sub.add_parser("plan", help="plan a SQL query on a synthetic network")
+    plan.add_argument("sql", help="SELECT ... FROM ... WHERE ... text")
+    plan.add_argument("--nodes", type=int, default=32)
+    plan.add_argument("--sink", type=int, default=0)
+    plan.add_argument("--max-cs", type=int, default=8)
+    plan.add_argument("--algorithm", default="top-down",
+                      choices=["top-down", "bottom-up", "optimal", "relaxation",
+                               "in-network", "plan-then-deploy"])
+    plan.add_argument("--seed", type=int, default=None)
+    plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Query-containment reuse (the paper's future-work direction).
+
+The paper's conclusion names "other optimization opportunities
+achievable through query containment".  Exact-signature reuse (the
+mechanism in :mod:`repro.core.reuse`) requires a deployed view with the
+*same* sources, predicates and filters.  Containment relaxes that: a
+deployed view V' **contains** the needed view V when it joins the same
+sources under the same join predicates but applies only a *subset* of
+V's filters -- every tuple of V appears in V', so V can be computed from
+V' by applying the missing filters at the consumer.
+
+The trade-off is quantitative: the contained reuse ships V' at V'\'s
+(larger) rate and filters down locally, so it wins only when shipping
+the larger stream still beats recomputing V from base streams.  The
+optimal planner folds this in exactly (per-producer shipping rates in
+the subset DP); :func:`containment_candidates` is the discovery
+primitive shared by planners and the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import RateModel
+from repro.query.deployment import DeploymentState
+from repro.query.query import Query, ViewSignature
+
+
+@dataclass(frozen=True)
+class ContainedReuse:
+    """A deployed view usable for a needed view via containment.
+
+    Attributes:
+        needed: The view signature the query wants.
+        provider: The deployed (containing) view's signature.
+        nodes: Nodes where the provider is deployed.
+        ship_rate: Rate at which the provider's output streams (>= the
+            needed view's rate; equal iff the signatures match exactly).
+        missing_filters: Filters to apply at the consumer.
+    """
+
+    needed: ViewSignature
+    provider: ViewSignature
+    nodes: tuple[int, ...]
+    ship_rate: float
+    missing_filters: frozenset
+
+    @property
+    def exact(self) -> bool:
+        """Whether this is plain exact-signature reuse."""
+        return not self.missing_filters
+
+
+def contains(provider: ViewSignature, needed: ViewSignature) -> bool:
+    """Whether ``provider`` contains ``needed``.
+
+    Same source set, same join predicates, a subset of the needed view's
+    filters, and a window at least as wide (every pair matching within
+    the needed window also matches within the provider's), so no needed
+    tuple is missing; the consumer re-applies the missing filters and
+    the tighter window locally.
+    """
+    return (
+        provider.sources == needed.sources
+        and provider.predicates == needed.predicates
+        and provider.filters <= needed.filters
+        and provider.window >= needed.window - 1e-12
+    )
+
+
+def containment_candidates(
+    query: Query,
+    subset: frozenset[str],
+    state: DeploymentState,
+    rates: RateModel,
+) -> list[ContainedReuse]:
+    """Deployed views that can serve ``query``'s view over ``subset``.
+
+    Returns exact matches first, then proper containments ordered by
+    ascending shipping rate (tighter providers are cheaper to ship).
+    """
+    needed = query.view_signature(subset)
+    out: list[ContainedReuse] = []
+    for sig, nodes in state.advertised_views().items():
+        if len(sig.sources) < 2:
+            continue
+        if not contains(sig, needed):
+            continue
+        out.append(
+            ContainedReuse(
+                needed=needed,
+                provider=sig,
+                nodes=tuple(sorted(nodes)),
+                ship_rate=rates.rate(sig) * rates.reuse_rate_inflation,
+                missing_filters=frozenset(needed.filters - sig.filters),
+            )
+        )
+    out.sort(key=lambda c: (not c.exact, c.ship_rate))
+    return out
+
+
+def best_provider_per_node(
+    candidates: list[ContainedReuse],
+) -> dict[int, ContainedReuse]:
+    """Cheapest-shipping provider available at each node."""
+    best: dict[int, ContainedReuse] = {}
+    for cand in candidates:
+        for node in cand.nodes:
+            if node not in best or cand.ship_rate < best[node].ship_rate:
+                best[node] = cand
+    return best

@@ -1,0 +1,172 @@
+"""Rate estimation and the communication-cost objective.
+
+The performance function reproduced from the paper's experiments is
+*communication cost per unit time*: every data flow contributes its rate
+times the traversal cost between producer and consumer nodes.  Rates of
+derived streams follow the classical selectivity model:
+
+    rate(S) = prod_{s in S} rate(s) * prod_{filters on s} sel(f)
+              * prod_{predicates (a, b) with a, b in S} sel(a, b)
+
+which makes a query's final output rate independent of join order (only
+*intermediate* rates, and therefore costs, depend on the chosen tree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.query.deployment import Deployment
+from repro.query.plan import Leaf, PlanNode
+from repro.query.query import Query, ViewSignature
+from repro.query.stream import StreamSpec
+
+
+class RateModel:
+    """Estimates view output rates for a fixed set of base streams.
+
+    Args:
+        streams: Stream name -> :class:`StreamSpec`.  Every query
+            optimized against this model must draw its sources from here.
+        reuse_rate_inflation: Multiplier (>= 1) applied to the rate of a
+            *reused* derived stream, modeling the paper's remark that
+            reuse may require additional columns to be projected.  The
+            default 1.0 means reuse ships exactly the view's rate.
+    """
+
+    def __init__(
+        self,
+        streams: Mapping[str, StreamSpec],
+        reuse_rate_inflation: float = 1.0,
+    ) -> None:
+        if reuse_rate_inflation < 1.0:
+            raise ValueError("reuse_rate_inflation must be >= 1")
+        self._streams = dict(streams)
+        self.reuse_rate_inflation = reuse_rate_inflation
+        self._cache: dict[ViewSignature, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def streams(self) -> dict[str, StreamSpec]:
+        """The base stream catalog (name -> spec)."""
+        return dict(self._streams)
+
+    def stream(self, name: str) -> StreamSpec:
+        """Spec of one base stream."""
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise KeyError(f"unknown stream {name!r}") from None
+
+    def source(self, name: str) -> int:
+        """Source node of one base stream."""
+        return self.stream(name).source
+
+    def rate(self, signature: ViewSignature) -> float:
+        """Output rate of the view identified by ``signature``.
+
+        Each of the view's ``|sources| - 1`` sliding-window joins
+        contributes a factor ``2 * window``: an arrival probes the
+        opposite window (expected ``r * W`` tuples) from both sides.
+        With the default ``W = 1/2`` this reduces to the classical
+        ``sigma * r_L * r_R``.
+        """
+        cached = self._cache.get(signature)
+        if cached is not None:
+            return cached
+        rate = 1.0
+        for name in signature.sources:
+            rate *= self.stream(name).rate
+        for flt in signature.filters:
+            rate *= flt.selectivity
+        for pred in signature.predicates:
+            rate *= pred.selectivity
+        joins = len(signature.sources) - 1
+        if joins > 0:
+            rate *= (2.0 * signature.window) ** joins
+        self._cache[signature] = rate
+        return rate
+
+    def rate_for(self, query: Query, subset: Iterable[str]) -> float:
+        """Output rate of the join over ``subset`` of ``query``'s streams.
+
+        This is the ``rate_fn`` signature
+        :class:`repro.query.deployment.DeploymentState` expects.
+        """
+        return self.rate(query.view_signature(frozenset(subset)))
+
+    def split_selectivity(self, query: Query, left: frozenset[str], right: frozenset[str]) -> float:
+        """Effective selectivity of joining the views ``left`` x ``right``.
+
+        The product of selectivities of predicates crossing the split;
+        1.0 (a cross product) when none do.
+        """
+        sel = 1.0
+        for pred in query.predicates:
+            if (pred.left in left and pred.right in right) or (
+                pred.left in right and pred.right in left
+            ):
+                sel *= pred.selectivity
+        return sel
+
+    def plan_rates(self, query: Query, plan: PlanNode) -> dict[PlanNode, float]:
+        """Output rate of every subtree of ``plan`` under ``query``."""
+        return {sub: self.rate_for(query, sub.sources) for sub in plan.subtrees()}
+
+    def flow_rates(self, query: Query, plan: PlanNode) -> dict[PlanNode, float]:
+        """Shipping rate of every subtree's output under ``query``.
+
+        Like :meth:`plan_rates` but applies ``reuse_rate_inflation`` to
+        reused-view leaves (their output may carry extra projected
+        columns).  This is what placement cost calculations should use.
+        """
+        rates = {}
+        for sub in plan.subtrees():
+            rate = self.rate_for(query, sub.sources)
+            if isinstance(sub, Leaf) and not sub.is_base_stream:
+                rate *= self.reuse_rate_inflation
+            rates[sub] = rate
+        return rates
+
+    def intermediate_volume(self, query: Query, plan: PlanNode) -> float:
+        """Sum of rates flowing along plan edges (a network-oblivious
+        plan-quality metric; used by the plan-then-deploy baselines)."""
+        total = 0.0
+        for join in plan.joins():
+            total += self.rate_for(query, join.left.sources)
+            total += self.rate_for(query, join.right.sources)
+        total += self.rate_for(query, plan.sources)  # delivery to sink
+        return total
+
+
+def deployment_cost(
+    deployment: Deployment,
+    costs: np.ndarray,
+    rates: RateModel,
+) -> float:
+    """Stand-alone communication cost of a single deployment.
+
+    Ignores sharing with other deployed queries (reused leaves cost only
+    their shipping edge; their production is considered already paid).
+    Matches ``DeploymentState.cost_of`` applied to an empty state up to
+    reuse (which the empty state would reject).
+    """
+    query = deployment.query
+
+    def flow_rate(node_tree: PlanNode) -> float:
+        rate = rates.rate_for(query, node_tree.sources)
+        if isinstance(node_tree, Leaf) and not node_tree.is_base_stream:
+            rate *= rates.reuse_rate_inflation
+        return rate
+
+    total = 0.0
+    for join in deployment.plan.joins():
+        node = deployment.placement[join]
+        for child in (join.left, join.right):
+            src = deployment.placement[child]
+            total += flow_rate(child) * float(costs[src, node])
+    root = deployment.plan
+    total += flow_rate(root) * float(costs[deployment.placement[root], query.sink])
+    return total

@@ -1,0 +1,167 @@
+"""Bushy join-tree enumeration.
+
+The paper's coordinators "exhaustively construct the possible query
+trees" for the (sub)query they plan.  This module enumerates every
+unordered bushy binary tree over a set of leaf views, optionally
+restricted to *connected* trees (no join is a cross product under the
+query's predicate graph), and extends enumeration with reuse: leaves may
+be already-deployed derived views covering several base streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.query.plan import Join, Leaf, PlanNode
+from repro.query.query import Query
+from repro.utils import double_factorial_odd
+
+
+def count_bushy_trees(num_leaves: int) -> int:
+    """Number of unordered bushy binary trees over ``num_leaves`` leaves.
+
+    Equals ``(2k - 3)!!``: 1, 1, 3, 15, 105, 945 for k = 1..6.
+    """
+    if num_leaves < 1:
+        raise ValueError("need at least one leaf")
+    return double_factorial_odd(num_leaves)
+
+
+def all_join_trees(views: Sequence[frozenset[str] | Iterable[str]]) -> list[PlanNode]:
+    """All unordered bushy trees whose leaves are the given views.
+
+    Views must be pairwise disjoint stream sets.  The result has exactly
+    ``count_bushy_trees(len(views))`` trees (duplicates are impossible
+    because :class:`Join` children are canonically ordered).
+    """
+    leaves = [Leaf(frozenset(v)) for v in views]
+    if not leaves:
+        raise ValueError("need at least one view")
+    union: set[str] = set()
+    for leaf in leaves:
+        if union & leaf.view:
+            raise ValueError("views must be pairwise disjoint")
+        union |= leaf.view
+    return _trees_over(tuple(range(len(leaves))), leaves, {})
+
+
+def _trees_over(
+    indices: tuple[int, ...],
+    leaves: list[Leaf],
+    memo: dict[tuple[int, ...], list[PlanNode]],
+) -> list[PlanNode]:
+    if indices in memo:
+        return memo[indices]
+    if len(indices) == 1:
+        result: list[PlanNode] = [leaves[indices[0]]]
+        memo[indices] = result
+        return result
+    anchor = indices[0]
+    rest = indices[1:]
+    result = []
+    # Every split is generated once by requiring the anchor on the left.
+    for mask in range(1 << len(rest)):
+        left = (anchor,) + tuple(rest[i] for i in range(len(rest)) if mask >> i & 1)
+        right = tuple(rest[i] for i in range(len(rest)) if not mask >> i & 1)
+        if not right:
+            continue
+        for l_tree in _trees_over(left, leaves, memo):
+            for r_tree in _trees_over(right, leaves, memo):
+                result.append(Join(l_tree, r_tree))
+    memo[indices] = result
+    return result
+
+
+def tree_is_connected(query: Query, tree: PlanNode) -> bool:
+    """Whether no join in ``tree`` is a cross product under ``query``.
+
+    A join is connected when at least one of the query's predicates
+    crosses the split between its children's *base* stream sets.
+    """
+    for join in tree.joins():
+        left, right = join.left.sources, join.right.sources
+        crossing = any(
+            (p.left in left and p.right in right) or (p.left in right and p.right in left)
+            for p in query.predicates
+        )
+        if not crossing:
+            return False
+    return True
+
+
+def connected_join_trees(
+    query: Query,
+    views: Sequence[frozenset[str] | Iterable[str]] | None = None,
+) -> list[PlanNode]:
+    """Bushy trees over ``views`` with no cross-product joins.
+
+    ``views`` defaults to the query's base streams as singleton leaves.
+    Falls back to *all* trees when the restriction leaves nothing (which
+    happens when the views partition the predicate graph badly or when
+    the query allows cross products) -- an optimizer must always have at
+    least one candidate plan.
+    """
+    if views is None:
+        views = [frozenset((s,)) for s in query.sources]
+    trees = all_join_trees(views)
+    connected = [t for t in trees if tree_is_connected(query, t)]
+    return connected if connected else trees
+
+
+def reuse_partitions(
+    sources: frozenset[str],
+    reusable: Sequence[frozenset[str]],
+) -> list[list[frozenset[str]]]:
+    """All partitions of ``sources`` into singletons and reusable views.
+
+    Each partition is a candidate leaf set for planning with reuse: a
+    block of size one is the base stream; a larger block must appear in
+    ``reusable``.  The all-singletons partition (no reuse) is always
+    included.  Blocks within a partition are pairwise disjoint by
+    construction.
+    """
+    usable = sorted({v for v in reusable if len(v) > 1 and v <= sources}, key=sorted)
+    results: list[list[frozenset[str]]] = []
+
+    def recurse(remaining: frozenset[str], acc: list[frozenset[str]]) -> None:
+        if not remaining:
+            results.append(list(acc))
+            return
+        first = min(remaining)
+        # Option 1: first stays a singleton leaf.
+        acc.append(frozenset((first,)))
+        recurse(remaining - {first}, acc)
+        acc.pop()
+        # Option 2: first is covered by a reusable view.
+        for view in usable:
+            if first in view and view <= remaining:
+                acc.append(view)
+                recurse(remaining - view, acc)
+                acc.pop()
+
+    recurse(sources, [])
+    return results
+
+
+def trees_with_reuse(
+    query: Query,
+    reusable: Sequence[frozenset[str]],
+    connected_only: bool = True,
+) -> list[PlanNode]:
+    """All candidate trees for ``query``, with reuse leaf alternatives.
+
+    Enumerates every partition of the query's sources into base-stream
+    leaves and reusable derived views (from ``reusable``), then every
+    bushy tree over each partition.  With ``connected_only`` (the
+    default), cross-product trees are dropped unless that would leave no
+    candidates.
+    """
+    sources = frozenset(query.sources)
+    trees: list[PlanNode] = []
+    for partition in reuse_partitions(sources, reusable):
+        trees.extend(all_join_trees(partition))
+    if connected_only:
+        connected = [t for t in trees if tree_is_connected(query, t)]
+        if connected:
+            return connected
+    return trees

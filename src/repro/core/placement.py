@@ -1,0 +1,167 @@
+"""Optimal placement of a fixed join tree via dynamic programming.
+
+For a *fixed* tree, the communication cost decomposes over tree edges
+(each flow's cost depends only on its two endpoints), so the optimal
+assignment of operators to a candidate node set is computed exactly by a
+bottom-up DP in ``O(num_ops * |candidates|^2)`` -- the same optimum as
+the paper's exhaustive enumeration of ``|candidates|^ops`` assignments,
+orders of magnitude cheaper.  The *nominal* search-space size (what the
+paper counts in its scalability experiment) is reported separately by
+:func:`nominal_assignments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.query.plan import Join, Leaf, PlanNode
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing one tree.
+
+    Attributes:
+        placement: Chosen node for every subtree root (leaves included).
+        cost: Total flow cost: every child-to-parent shipment plus the
+            root-to-sink delivery when a sink was given.
+        tree: The tree that was placed.
+    """
+
+    placement: dict[PlanNode, int]
+    cost: float
+    tree: PlanNode
+
+
+def nominal_assignments(tree: PlanNode, num_candidates: int) -> int:
+    """Size of the assignment space the paper's exhaustive search scans.
+
+    One choice of node per join operator: ``num_candidates ** num_joins``
+    (at least 1 even for a pure-leaf tree).
+    """
+    return max(1, num_candidates) ** tree.num_joins
+
+
+def optimal_tree_placement(
+    tree: PlanNode,
+    candidates: Sequence[int],
+    costs: np.ndarray,
+    leaf_positions: Mapping[Leaf, Sequence[int]],
+    rates: Mapping[PlanNode, float],
+    sink: int | None,
+) -> PlacementResult:
+    """Optimally assign ``tree``'s operators to ``candidates``.
+
+    Args:
+        tree: The join tree to place.
+        candidates: Nodes every *join operator* may be placed on.
+        costs: All-pairs traversal-cost matrix over node ids used by
+            ``candidates``/``leaf_positions``/``sink``.
+        leaf_positions: Allowed node(s) for each leaf: a base stream's
+            source, or the advertisement nodes of a reused view.  Every
+            leaf of ``tree`` must be present.
+        rates: Output rate of each subtree (as from
+            :meth:`RateModel.plan_rates`).
+        sink: Node the root output is delivered to, or ``None`` to skip
+            delivery cost (the root output then simply materializes at
+            the cheapest producing node).
+
+    Returns:
+        The optimal :class:`PlacementResult`.
+    """
+    cand = np.asarray(list(candidates), dtype=np.intp)
+    if cand.size == 0:
+        raise ValueError("need at least one candidate node")
+
+    # dp[node] over that node's *position set*: cost of producing the
+    # subtree's output at the position (excluding shipment to parent).
+    positions: dict[PlanNode, np.ndarray] = {}
+    dp: dict[PlanNode, np.ndarray] = {}
+    # For reconstruction: per join, per candidate index, the chosen
+    # position index of each child.
+    choice: dict[tuple[Join, int], np.ndarray] = {}
+
+    for sub in tree.subtrees():
+        if isinstance(sub, Leaf):
+            try:
+                pos = np.asarray(list(leaf_positions[sub]), dtype=np.intp)
+            except KeyError:
+                raise KeyError(f"no positions given for leaf {sub.label}") from None
+            if pos.size == 0:
+                raise ValueError(f"leaf {sub.label} has an empty position set")
+            positions[sub] = pos
+            dp[sub] = np.zeros(pos.size)
+            continue
+        assert isinstance(sub, Join)
+        total = np.zeros(cand.size)
+        for side, child in ((0, sub.left), (1, sub.right)):
+            child_pos = positions[child]
+            rate = rates[child]
+            # arrival[p, v]: produce at position p then ship to candidate v.
+            arrival = dp[child][:, None] + rate * costs[np.ix_(child_pos, cand)]
+            best = arrival.argmin(axis=0)
+            total += arrival[best, np.arange(cand.size)]
+            choice[(sub, side)] = best
+        positions[sub] = cand
+        dp[sub] = total
+
+    root_pos = positions[tree]
+    root_dp = dp[tree]
+    if sink is not None:
+        final = root_dp + rates[tree] * costs[root_pos, sink]
+    else:
+        final = root_dp
+    best_idx = int(final.argmin())
+    best_cost = float(final[best_idx])
+
+    placement: dict[PlanNode, int] = {}
+
+    def reconstruct(sub: PlanNode, pos_idx: int) -> None:
+        placement[sub] = int(positions[sub][pos_idx])
+        if isinstance(sub, Join):
+            for side, child in ((0, sub.left), (1, sub.right)):
+                reconstruct(child, int(choice[(sub, side)][pos_idx]))
+
+    reconstruct(tree, best_idx)
+    return PlacementResult(placement=placement, cost=best_cost, tree=tree)
+
+
+def brute_force_tree_placement(
+    tree: PlanNode,
+    candidates: Sequence[int],
+    costs: np.ndarray,
+    leaf_positions: Mapping[Leaf, Sequence[int]],
+    rates: Mapping[PlanNode, float],
+    sink: int | None,
+) -> PlacementResult:
+    """Literal enumeration of every operator assignment (for validation).
+
+    Exponential in the number of joins; used by tests to certify that
+    :func:`optimal_tree_placement` finds the same optimum.
+    """
+    from itertools import product
+
+    joins = tree.joins()
+    best_cost = float("inf")
+    best: dict[PlanNode, int] | None = None
+    leaf_opts = {leaf: list(leaf_positions[leaf]) for leaf in tree.leaves()}
+
+    for join_assign in product(list(candidates), repeat=len(joins)):
+        for leaf_assign in product(*(leaf_opts[l] for l in tree.leaves())):
+            placement = dict(zip(joins, join_assign))
+            placement.update(dict(zip(tree.leaves(), leaf_assign)))
+            cost = 0.0
+            for join in joins:
+                node = placement[join]
+                for child in (join.left, join.right):
+                    cost += rates[child] * float(costs[placement[child], node])
+            if sink is not None:
+                cost += rates[tree] * float(costs[placement[tree], sink])
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best = placement
+    assert best is not None
+    return PlacementResult(placement=best, cost=best_cost, tree=tree)

@@ -1,0 +1,40 @@
+"""Hierarchical network partitions and stream advertisements.
+
+The optimization infrastructure of the paper's Section 2.1:
+
+* :mod:`repro.hierarchy.clustering` -- size-capped clustering of nodes
+  by traversal cost (own k-means on an MDS embedding, k-medoids, and a
+  random baseline for ablations).
+* :mod:`repro.hierarchy.hierarchy` -- the multi-level virtual hierarchy:
+  clusters, coordinators, per-level intra-cluster cost bounds ``d_i``
+  and level-``l`` cost estimates (Theorem 1).
+* :mod:`repro.hierarchy.maintenance` -- runtime node join/departure.
+* :mod:`repro.hierarchy.advertisements` -- base/derived stream
+  advertisements aggregated up the hierarchy (what enables operator
+  reuse during planning).
+"""
+
+from repro.hierarchy.clustering import (
+    capped_clusters,
+    choose_medoid,
+    kmeans,
+    kmedoids,
+    random_clustering,
+)
+from repro.hierarchy.hierarchy import Cluster, Hierarchy, build_hierarchy
+from repro.hierarchy.maintenance import add_node, remove_node
+from repro.hierarchy.advertisements import AdvertisementIndex
+
+__all__ = [
+    "kmeans",
+    "kmedoids",
+    "random_clustering",
+    "capped_clusters",
+    "choose_medoid",
+    "Cluster",
+    "Hierarchy",
+    "build_hierarchy",
+    "add_node",
+    "remove_node",
+    "AdvertisementIndex",
+]

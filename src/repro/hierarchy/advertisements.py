@@ -1,0 +1,151 @@
+"""Stream advertisements (paper Section 2.1.2).
+
+Nodes advertise the base streams they host and, once operators are
+deployed, the *derived* streams those operators produce.  Advertisements
+are aggregated by coordinators and propagated up the hierarchy, so the
+coordinator of every cluster knows every stream available somewhere in
+its subtree -- this is what lets both algorithms fold operator reuse
+into planning, and it costs one message per level per advertisement
+(the index keeps a counter so experiments can report the overhead,
+which the paper observes is negligible next to the data streams).
+"""
+
+from __future__ import annotations
+
+from repro.hierarchy.hierarchy import Cluster, Hierarchy
+from repro.query.query import ViewSignature
+
+
+class AdvertisementIndex:
+    """Cluster-aggregated base- and derived-stream advertisements.
+
+    Args:
+        hierarchy: The hierarchy advertisements propagate through.
+    """
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hierarchy = hierarchy
+        self._base_nodes: dict[str, int] = {}
+        self._view_nodes: dict[ViewSignature, set[int]] = {}
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def advertise_base(self, stream: str, node: int) -> None:
+        """Advertise a base stream hosted at ``node``."""
+        if stream in self._base_nodes and self._base_nodes[stream] != node:
+            raise ValueError(
+                f"base stream {stream!r} already advertised at node "
+                f"{self._base_nodes[stream]}"
+            )
+        self.hierarchy.leaf_cluster(node)  # node must exist in the hierarchy
+        self._base_nodes[stream] = node
+        self.messages_sent += self.hierarchy.height
+
+    def advertise_view(self, signature: ViewSignature, node: int) -> None:
+        """Advertise a derived stream produced by an operator at ``node``.
+
+        Idempotent per (signature, node) -- the paper's advertisements
+        are one-time messages at operator instantiation.
+        """
+        self.hierarchy.leaf_cluster(node)
+        nodes = self._view_nodes.setdefault(signature, set())
+        if node not in nodes:
+            nodes.add(node)
+            self.messages_sent += self.hierarchy.height
+
+    def withdraw_view(self, signature: ViewSignature, node: int) -> None:
+        """Remove a derived-stream advertisement (operator undeployed)."""
+        nodes = self._view_nodes.get(signature)
+        if not nodes or node not in nodes:
+            raise KeyError(f"view {signature.label()} is not advertised at node {node}")
+        nodes.discard(node)
+        if not nodes:
+            del self._view_nodes[signature]
+        self.messages_sent += self.hierarchy.height
+
+    def sync_from_state(self, state) -> None:
+        """Reconcile derived-stream ads with a :class:`DeploymentState`.
+
+        Publishes every live view and withdraws ads whose operators no
+        longer exist (undeployed queries), so planners never chase stale
+        advertisements.
+        """
+        live = state.advertised_views()
+        for signature, nodes in live.items():
+            for node in nodes:
+                self.advertise_view(signature, node)
+        for signature, nodes in list(self._view_nodes.items()):
+            live_nodes = live.get(signature, set())
+            for node in list(nodes):
+                if node not in live_nodes:
+                    self.withdraw_view(signature, node)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def base_node(self, stream: str) -> int:
+        """The node hosting a base stream."""
+        try:
+            return self._base_nodes[stream]
+        except KeyError:
+            raise KeyError(f"base stream {stream!r} is not advertised") from None
+
+    def base_streams(self) -> dict[str, int]:
+        """All advertised base streams (name -> node)."""
+        return dict(self._base_nodes)
+
+    def view_nodes(self, signature: ViewSignature) -> set[int]:
+        """All nodes advertising a derived view (empty set if none)."""
+        return set(self._view_nodes.get(signature, ()))
+
+    def views(self) -> dict[ViewSignature, set[int]]:
+        """All advertised derived views (signature -> nodes)."""
+        return {sig: set(nodes) for sig, nodes in self._view_nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Cluster-scoped aggregation (what a coordinator knows)
+    # ------------------------------------------------------------------
+    def streams_in(self, cluster: Cluster) -> set[str]:
+        """Base streams available somewhere in ``cluster``'s subtree."""
+        subtree = cluster.subtree_nodes()
+        return {s for s, n in self._base_nodes.items() if n in subtree}
+
+    def base_member(self, cluster: Cluster, stream: str) -> int | None:
+        """The member of ``cluster`` whose subtree hosts ``stream``.
+
+        Returns ``None`` when the stream is not under this cluster.
+        """
+        node = self._base_nodes.get(stream)
+        if node is None:
+            return None
+        for member in cluster.members:
+            if node in self.hierarchy.member_subtree(cluster, member):
+                return member
+        return None
+
+    def views_in(self, cluster: Cluster) -> dict[ViewSignature, set[int]]:
+        """Derived views advertised within ``cluster``'s subtree.
+
+        Maps signature -> the advertising *physical nodes* inside the
+        subtree (planning at a level resolves them to members via
+        :meth:`view_members`).
+        """
+        subtree = cluster.subtree_nodes()
+        out: dict[ViewSignature, set[int]] = {}
+        for sig, nodes in self._view_nodes.items():
+            inside = nodes & subtree
+            if inside:
+                out[sig] = inside
+        return out
+
+    def view_members(self, cluster: Cluster, signature: ViewSignature) -> set[int]:
+        """Members of ``cluster`` whose subtrees advertise ``signature``."""
+        nodes = self._view_nodes.get(signature, ())
+        out: set[int] = set()
+        for member in cluster.members:
+            subtree = self.hierarchy.member_subtree(cluster, member)
+            if any(n in subtree for n in nodes):
+                out.add(member)
+        return out

@@ -1,0 +1,232 @@
+"""Runtime maintenance of the hierarchy: node joins and departures.
+
+Follows the paper's protocol: a joining node's request is routed to the
+top-level coordinator, then passed down level by level to the closest
+child until the node lands in a bottom-level cluster; oversized clusters
+split, and splits can cascade upward (growing the hierarchy by a level
+when the root itself splits).  Departures remove the node, re-elect
+coordinators where needed and collapse emptied clusters.
+
+The network mutation itself (adding/removing the node and its links) is
+the caller's job; these functions maintain the *virtual* structure.
+
+Coordinator identity is subtle: when a cluster's coordinator changes,
+the old node id may appear as a member -- and possibly as coordinator --
+at *every* level above (a promoted node represents its cluster all the
+way up to where it stops winning elections).  :func:`_swap_member`
+rewrites that chain atomically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hierarchy.clustering import capped_clusters, choose_medoid
+from repro.hierarchy.hierarchy import Cluster, Hierarchy
+from repro.utils import SeedLike, as_generator
+
+
+def add_node(hierarchy: Hierarchy, node: int, seed: SeedLike = None) -> None:
+    """Insert a (network-attached) node into the hierarchy.
+
+    Args:
+        hierarchy: Hierarchy to update in place.
+        node: Physical node id; must already exist in
+            ``hierarchy.network`` with its links in place.
+        seed: RNG for any cluster split the insertion triggers.
+    """
+    network = hierarchy.network
+    if not network.has_node(node):
+        raise KeyError(f"node {node} is not in the network")
+    if any(node in c.members for c in hierarchy.levels[0]):
+        raise ValueError(f"node {node} is already in the hierarchy")
+    costs = network.cost_matrix()
+    rng = as_generator(seed)
+
+    # Route the join request down from the root, picking the closest
+    # member at every level (the paper's descent protocol).
+    cluster = hierarchy.root
+    while cluster.level > 1:
+        best = min(cluster.members, key=lambda m: costs[m, node])
+        cluster = cluster.children[best]
+
+    cluster.members.append(node)
+    if cluster.size > hierarchy.max_cs:
+        _split(hierarchy, cluster, costs, rng)
+    else:
+        _reelect(hierarchy, cluster, costs)
+    hierarchy.reindex()
+
+
+def remove_node(hierarchy: Hierarchy, node: int) -> None:
+    """Remove a node from the hierarchy (departure or failure).
+
+    The physical network may still contain the node; migrating any
+    deployments off it is the runtime's concern.  Raises when removing
+    the last node.
+    """
+    cluster = hierarchy.leaf_cluster(node)
+    if len(hierarchy.root.subtree_nodes()) == 1:
+        raise ValueError("cannot remove the last node of the hierarchy")
+    costs = hierarchy.network.cost_matrix()
+
+    cluster.members.remove(node)
+    if cluster.size == 0:
+        _drop_cluster(hierarchy, cluster, costs)
+    elif cluster.coordinator == node:
+        _recover_coordinator(hierarchy, cluster, lost=node, costs=costs)
+    else:
+        _reelect(hierarchy, cluster, costs)
+    _collapse_top(hierarchy)
+    hierarchy.reindex()
+
+
+# ----------------------------------------------------------------------
+# Coordinator identity plumbing
+# ----------------------------------------------------------------------
+def _swap_member(hierarchy: Hierarchy, parent: Cluster, old: int, new: int, child: Cluster) -> None:
+    """Replace member id ``old`` with ``new`` in ``parent`` (and upward).
+
+    ``child`` is the cluster ``old`` used to represent.  If ``old`` was
+    also ``parent``'s coordinator, the replacement propagates to every
+    level above that referenced the same id.
+    """
+    parent.members.remove(old)
+    parent.members.append(new)
+    del parent.children[old]
+    parent.children[new] = child
+    if parent.coordinator == old:
+        parent.coordinator = new
+        if parent.parent is not None:
+            _swap_member(hierarchy, parent.parent, old, new, parent)
+
+
+def _set_coordinator(hierarchy: Hierarchy, cluster: Cluster, new: int) -> None:
+    """Elect ``new`` (a current member) as coordinator, fixing upper levels."""
+    old = cluster.coordinator
+    if old == new:
+        return
+    cluster.coordinator = new
+    if cluster.parent is not None:
+        _swap_member(hierarchy, cluster.parent, old, new, cluster)
+
+
+def _reelect(hierarchy: Hierarchy, cluster: Cluster, costs: np.ndarray) -> None:
+    """Re-run the medoid election for ``cluster`` and its ancestors."""
+    current: Cluster | None = cluster
+    while current is not None:
+        candidates = [m for m in current.members if hierarchy.network.has_node(m)]
+        if not candidates:  # pragma: no cover - defensive
+            raise RuntimeError("cluster has no live members to elect")
+        _set_coordinator(hierarchy, current, choose_medoid(candidates, costs))
+        current = current.parent
+
+
+def _recover_coordinator(
+    hierarchy: Hierarchy, cluster: Cluster, lost: int, costs: np.ndarray
+) -> None:
+    """Handle a coordinator that is gone from the member list entirely."""
+    candidates = [m for m in cluster.members if hierarchy.network.has_node(m)]
+    if not candidates:  # pragma: no cover - defensive
+        raise RuntimeError("cluster has no live members to elect")
+    new = choose_medoid(candidates, costs)
+    cluster.coordinator = new
+    if cluster.parent is not None:
+        _swap_member(hierarchy, cluster.parent, lost, new, cluster)
+    _reelect(hierarchy, cluster, costs)
+
+
+# ----------------------------------------------------------------------
+# Structural changes
+# ----------------------------------------------------------------------
+def _split(
+    hierarchy: Hierarchy,
+    cluster: Cluster,
+    costs: np.ndarray,
+    rng: np.random.Generator,
+) -> None:
+    """Split an oversized cluster; cascade upward as needed."""
+    groups = capped_clusters(cluster.members, costs, hierarchy.max_cs, seed=rng)
+    if len(groups) == 1:  # pragma: no cover - defensive
+        raise RuntimeError("split produced a single cluster")
+    depth = cluster.level - 1
+    hierarchy.levels[depth].remove(cluster)
+    parent = cluster.parent
+
+    new_clusters: list[Cluster] = []
+    for members in groups:
+        coordinator = choose_medoid(members, costs)
+        children = {m: cluster.children[m] for m in members} if cluster.level > 1 else {}
+        new = Cluster(
+            level=cluster.level,
+            members=list(members),
+            coordinator=coordinator,
+            children=children,
+        )
+        for child in children.values():
+            child.parent = new
+        new_clusters.append(new)
+        hierarchy.levels[depth].append(new)
+
+    if parent is None:
+        # The root split: grow the hierarchy by one level.
+        top_members = [c.coordinator for c in new_clusters]
+        new_root = Cluster(
+            level=cluster.level + 1,
+            members=top_members,
+            coordinator=choose_medoid(top_members, costs),
+            children={c.coordinator: c for c in new_clusters},
+        )
+        for c in new_clusters:
+            c.parent = new_root
+        hierarchy.levels.append([new_root])
+        if new_root.size > hierarchy.max_cs:
+            _split(hierarchy, new_root, costs, rng)
+        return
+
+    old_coord = cluster.coordinator
+    parent.members.remove(old_coord)
+    del parent.children[old_coord]
+    new_ids = set()
+    for c in new_clusters:
+        parent.members.append(c.coordinator)
+        parent.children[c.coordinator] = c
+        c.parent = parent
+        new_ids.add(c.coordinator)
+    if parent.coordinator == old_coord and old_coord not in new_ids:
+        # The parent's own identity upward pointed at the removed id.
+        _recover_coordinator(hierarchy, parent, lost=old_coord, costs=costs)
+    if parent.size > hierarchy.max_cs:
+        _split(hierarchy, parent, costs, rng)
+    else:
+        _reelect(hierarchy, parent, costs)
+
+
+def _drop_cluster(hierarchy: Hierarchy, cluster: Cluster, costs: np.ndarray) -> None:
+    """Remove an emptied cluster, collapsing upward as needed."""
+    depth = cluster.level - 1
+    hierarchy.levels[depth].remove(cluster)
+    parent = cluster.parent
+    if parent is None:
+        if not hierarchy.levels[depth]:
+            raise ValueError("hierarchy has become empty")
+        return
+    parent.members.remove(cluster.coordinator)
+    del parent.children[cluster.coordinator]
+    if not parent.members:
+        _drop_cluster(hierarchy, parent, costs)
+    elif parent.coordinator == cluster.coordinator:
+        _recover_coordinator(hierarchy, parent, lost=cluster.coordinator, costs=costs)
+    else:
+        _reelect(hierarchy, parent, costs)
+
+
+def _collapse_top(hierarchy: Hierarchy) -> None:
+    """Drop redundant single-member top levels after removals."""
+    while (
+        len(hierarchy.levels) > 1
+        and len(hierarchy.levels[-1]) == 1
+        and hierarchy.levels[-1][0].size == 1
+    ):
+        hierarchy.levels.pop()
+        hierarchy.levels[-1][0].parent = None

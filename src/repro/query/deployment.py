@@ -1,0 +1,388 @@
+"""Deployments and the global deployment state.
+
+A :class:`Deployment` is one query's chosen plan plus the operator ->
+physical-node assignment.  The :class:`DeploymentState` owns every
+deployed operator instance and every data flow in the system and
+computes the paper's cost metric:
+
+    total communication cost per unit time
+        = sum over flows of  (flow rate) x (traversal cost of its path)
+
+Accounting follows the IFLOW prototype's physical reality: flows are
+per-subscription, so two queries shipping the same stream to the same
+node pay twice -- *unless* a query explicitly reuses a deployed operator
+(a multi-stream leaf in its plan), in which case the view's production
+flows were paid once by the query that created it and the reusing query
+pays only the shipping of the derived stream to its consumer.  This is
+exactly what separates the paper's "with reuse" and "without reuse"
+curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.query.plan import Join, Leaf, PlanNode
+from repro.query.query import Query, ViewSignature
+
+
+# A producer is either a base stream at its source node or a deployed
+# view (operator output) at the operator's node.
+ProducerKey = tuple  # ("base", stream_name, node) | ("view", ViewSignature, node)
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """One materialized data flow (a subscription).
+
+    Attributes:
+        query: Name of the query that pays for the flow.
+        producer: Producer identity (``("base", name, node)`` or
+            ``("view", signature, node)``).
+        dest: Destination node id.
+        rate: Data rate of the flow (units/time).
+    """
+
+    query: str
+    producer: ProducerKey
+    dest: int
+    rate: float
+
+    @property
+    def src(self) -> int:
+        """Source node of the flow."""
+        return self.producer[2]
+
+    def cost(self, costs: np.ndarray) -> float:
+        """Communication cost/unit time given an all-pairs cost matrix."""
+        return float(self.rate * costs[self.src, self.dest])
+
+
+@dataclass
+class Deployment:
+    """One query's plan and operator placement.
+
+    Attributes:
+        query: The deployed query.
+        plan: The chosen join tree.  Leaves covering multiple streams are
+            reused derived views.
+        placement: Node assignment for every subtree root: join operators
+            map to the node that executes them, base-stream leaves to the
+            stream's source node, and reused-view leaves to the node of
+            the reused operator.
+        stats: Free-form metadata recorded by the optimizer that produced
+            the deployment (plans examined, levels traversed, ...).
+    """
+
+    query: Query
+    plan: PlanNode
+    placement: dict[PlanNode, int]
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node in self.plan.subtrees():
+            if node not in self.placement:
+                raise ValueError(
+                    f"deployment for {self.query.name!r} is missing a placement "
+                    f"for subtree {node.pretty()}"
+                )
+        if self.plan.sources != frozenset(self.query.sources):
+            raise ValueError(
+                f"plan covers {sorted(self.plan.sources)} but query "
+                f"{self.query.name!r} needs {sorted(self.query.sources)}"
+            )
+
+    @property
+    def operator_nodes(self) -> dict[PlanNode, int]:
+        """Placements of join operators only."""
+        return {j: self.placement[j] for j in self.plan.joins()}
+
+    def reused_leaves(self) -> list[Leaf]:
+        """Leaves that reuse an existing derived view."""
+        return [leaf for leaf in self.plan.leaves() if not leaf.is_base_stream]
+
+
+@dataclass
+class _OperatorRecord:
+    """Book-keeping for one deployed operator instance."""
+
+    signature: ViewSignature
+    node: int
+    rate: float
+    queries: set[str] = field(default_factory=set)
+
+
+class DeploymentState:
+    """All deployed operators and flows, with reuse-aware cost accounting.
+
+    Args:
+        costs: All-pairs traversal-cost matrix of the physical network.
+        rate_fn: ``rate_fn(query, subset) -> float`` giving the output
+            rate of the join over ``subset`` of ``query``'s streams
+            (normally :meth:`repro.core.cost.RateModel.rate_for`).
+        source_fn: ``source_fn(stream_name) -> node`` giving each base
+            stream's source node.
+        reuse_inflation: Multiplier (>= 1) on the shipping rate of reused
+            views (extra projected columns; the paper's caveat).  Should
+            match the rate model's ``reuse_rate_inflation``.
+    """
+
+    def __init__(
+        self,
+        costs: np.ndarray,
+        rate_fn: Callable[[Query, frozenset[str]], float],
+        source_fn: Callable[[str], int],
+        reuse_inflation: float = 1.0,
+    ) -> None:
+        if reuse_inflation < 1.0:
+            raise ValueError("reuse_inflation must be >= 1")
+        self._costs = costs
+        self._rate_fn = rate_fn
+        self._source_fn = source_fn
+        self._reuse_inflation = reuse_inflation
+        self._operators: dict[tuple[ViewSignature, int], _OperatorRecord] = {}
+        self._flows: list[FlowEdge] = []
+        self._deployments: dict[str, Deployment] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def deployments(self) -> list[Deployment]:
+        """All live deployments, in application order."""
+        return list(self._deployments.values())
+
+    @property
+    def num_operators(self) -> int:
+        """Number of distinct live operator instances."""
+        return len(self._operators)
+
+    def flows(self) -> list[FlowEdge]:
+        """All live flows (one entry per paying query per edge)."""
+        return list(self._flows)
+
+    def operators(self) -> list[tuple[ViewSignature, int]]:
+        """(signature, node) of every live operator instance."""
+        return list(self._operators)
+
+    def advertised_views(self) -> dict[ViewSignature, set[int]]:
+        """Derived-stream advertisements: signature -> nodes offering it."""
+        out: dict[ViewSignature, set[int]] = {}
+        for (sig, node) in self._operators:
+            out.setdefault(sig, set()).add(node)
+        return out
+
+    def has_view(self, signature: ViewSignature, node: int | None = None) -> bool:
+        """Whether a view is deployed (optionally: at a specific node)."""
+        if node is not None:
+            return (signature, node) in self._operators
+        return any(sig == signature for (sig, _) in self._operators)
+
+    def queries_using(self, signature: ViewSignature, node: int) -> set[str]:
+        """Names of queries consuming the operator instance."""
+        rec = self._operators.get((signature, node))
+        return set(rec.queries) if rec else set()
+
+    def total_cost(self) -> float:
+        """Current total communication cost per unit time."""
+        return sum(flow.cost(self._costs) for flow in self._flows)
+
+    def query_cost(self, name: str) -> float:
+        """Communication cost attributed to one query's subscriptions."""
+        return sum(f.cost(self._costs) for f in self._flows if f.query == name)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def apply(self, deployment: Deployment) -> float:
+        """Install a deployment; return the cost it added.
+
+        Creates operator instances for every join of the plan, charges
+        their input flows to this query, and validates that every reused
+        leaf references an operator some earlier query deployed.
+        """
+        query = deployment.query
+        if query.name in self._deployments:
+            raise ValueError(f"query {query.name!r} is already deployed")
+        added: list[FlowEdge] = []
+        for subtree in deployment.plan.subtrees():
+            if isinstance(subtree, Leaf):
+                self._check_leaf(query, subtree, deployment.placement[subtree])
+                continue
+            assert isinstance(subtree, Join)
+            node = deployment.placement[subtree]
+            sig = query.view_signature(subtree.sources)
+            self._ensure_operator(sig, node, query)
+            for child in (subtree.left, subtree.right):
+                src = deployment.placement[child]
+                if src != node:
+                    added.append(
+                        FlowEdge(
+                            query=query.name,
+                            producer=self._producer_key(query, child, src),
+                            dest=node,
+                            rate=self._flow_rate(query, child, src),
+                        )
+                    )
+        root = deployment.plan
+        root_node = deployment.placement[root]
+        if root_node != query.sink:
+            added.append(
+                FlowEdge(
+                    query=query.name,
+                    producer=self._producer_key(query, root, root_node),
+                    dest=query.sink,
+                    rate=self._flow_rate(query, root, root_node),
+                )
+            )
+        self._flows.extend(added)
+        self._deployments[query.name] = deployment
+        return sum(f.cost(self._costs) for f in added)
+
+    def undeploy(self, name: str) -> float:
+        """Remove a query's deployment; return the cost reclaimed.
+
+        Operator instances this query created stay alive while other
+        queries reuse them; instances with no consumers left are dropped
+        (their advertisements disappear with them).
+
+        Caveat: the input subscriptions feeding an operator are billed to
+        the query that created it, so undeploying that query reclaims
+        them even if another query still reuses the view.  Callers
+        migrating queries should undeploy dependents first (the adaptive
+        middleware does).
+        """
+        if name not in self._deployments:
+            raise KeyError(f"query {name!r} is not deployed")
+        deployment = self._deployments.pop(name)
+        reclaimed = 0.0
+        kept: list[FlowEdge] = []
+        for flow in self._flows:
+            if flow.query == name:
+                reclaimed += flow.cost(self._costs)
+            else:
+                kept.append(flow)
+        self._flows = kept
+        query = deployment.query
+        for subtree in deployment.plan.subtrees():
+            sig_node: tuple[ViewSignature, int] | None = None
+            if isinstance(subtree, Join):
+                sig_node = (query.view_signature(subtree.sources), deployment.placement[subtree])
+            elif not subtree.is_base_stream:
+                node = deployment.placement[subtree]
+                rec = self.find_reusable(query, subtree.view, node)
+                if rec is not None:
+                    sig_node = (rec.signature, node)
+                else:
+                    sig_node = (query.view_signature(subtree.view), node)
+            if sig_node and sig_node in self._operators:
+                rec = self._operators[sig_node]
+                rec.queries.discard(name)
+                if not rec.queries:
+                    del self._operators[sig_node]
+        return reclaimed
+
+    def cost_of(self, deployment: Deployment) -> float:
+        """Cost :meth:`apply` would add, without mutating state."""
+        shadow = self.clone()
+        return shadow.apply(deployment)
+
+    def clone(self) -> "DeploymentState":
+        """Independent copy sharing the immutable cost matrix."""
+        other = DeploymentState(
+            self._costs, self._rate_fn, self._source_fn, self._reuse_inflation
+        )
+        other._operators = {
+            key: _OperatorRecord(rec.signature, rec.node, rec.rate, set(rec.queries))
+            for key, rec in self._operators.items()
+        }
+        other._flows = list(self._flows)
+        other._deployments = dict(self._deployments)
+        return other
+
+    def recompute_costs(self, costs: np.ndarray) -> float:
+        """Swap in a new cost matrix (network change); return new total."""
+        self._costs = costs
+        return self.total_cost()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def find_reusable(self, query: Query, view: frozenset[str], node: int):
+        """The operator at ``node`` able to serve ``query``'s ``view``.
+
+        Exact signature match first; otherwise a *containing* view (same
+        sources and join predicates, subset of the filters -- every
+        needed tuple is present, the consumer re-applies the missing
+        filters).  Returns the operator record or ``None``.
+        """
+        sig = query.view_signature(view)
+        rec = self._operators.get((sig, node))
+        if rec is not None:
+            return rec
+        for (other, other_node), candidate in self._operators.items():
+            if (
+                other_node == node
+                and other.sources == sig.sources
+                and other.predicates == sig.predicates
+                and other.filters <= sig.filters
+            ):
+                return candidate
+        return None
+
+    def _check_leaf(self, query: Query, leaf: Leaf, node: int) -> None:
+        if leaf.is_base_stream:
+            source = self._source_fn(leaf.stream)
+            if node != source:
+                raise ValueError(
+                    f"base stream {leaf.stream!r} must be placed at its source "
+                    f"{source}, got {node}"
+                )
+            return
+        rec = self.find_reusable(query, leaf.view, node)
+        if rec is None:
+            sig = query.view_signature(leaf.view)
+            raise ValueError(
+                f"deployment for {query.name!r} reuses view {sig.label()} at node "
+                f"{node}, but no such operator is deployed"
+            )
+        rec.queries.add(query.name)
+
+    def _producer_key(self, query: Query, node_tree: PlanNode, node: int) -> ProducerKey:
+        if isinstance(node_tree, Leaf) and node_tree.is_base_stream:
+            sig = query.view_signature(node_tree.view)
+            if sig.filters:
+                # A filtered base stream is a view (filtering changes content);
+                # the filter operator runs at the source for free transport.
+                self._ensure_operator(sig, node, query)
+                return ("view", sig, node)
+            return ("base", node_tree.stream, node)
+        sig = query.view_signature(node_tree.sources)
+        if isinstance(node_tree, Leaf):
+            # Reused view: attribute the flow to the actual provider
+            # (which may be a *containing* view with fewer filters).
+            rec = self.find_reusable(query, node_tree.view, node)
+            if rec is not None:
+                sig = rec.signature
+        return ("view", sig, node)
+
+    def _flow_rate(self, query: Query, child: PlanNode, node: int) -> float:
+        if isinstance(child, Leaf) and not child.is_base_stream:
+            # A reused view ships at the *deployed operator's* rate --
+            # larger than the needed view's rate under containment reuse
+            # (the consumer re-applies the missing filters locally).
+            rec = self.find_reusable(query, child.view, node)
+            base = rec.rate if rec is not None else self._rate_fn(query, child.sources)
+            return base * self._reuse_inflation
+        return self._rate_fn(query, child.sources)
+
+    def _ensure_operator(self, sig: ViewSignature, node: int, query: Query) -> None:
+        key = (sig, node)
+        rec = self._operators.get(key)
+        if rec is None:
+            rec = _OperatorRecord(sig, node, self._rate_fn(query, sig.sources))
+            self._operators[key] = rec
+        rec.queries.add(query.name)

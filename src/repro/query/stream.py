@@ -1,0 +1,64 @@
+"""Base stream sources and stream-local filters.
+
+A *base stream* originates at a single physical node with an expected
+data rate (the paper assumes rates and selectivities are "estimated ...
+perhaps gathered from historical observations").  A *filter* is a
+selection predicate applied to one stream; filters are always pushed to
+the stream's source (the standard select-push-down the paper inherits
+from classical optimization), so they only affect the stream's effective
+rate, never placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A base data-stream source.
+
+    Attributes:
+        name: Unique stream name, e.g. ``"FLIGHTS"``.
+        source: Physical node id where the stream enters the system.
+        rate: Expected data rate in data units per unit time.  All
+            deployment costs are ``rate x traversal cost`` products, so
+            the unit is arbitrary but must be consistent across streams.
+    """
+
+    name: str
+    source: int
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stream name must be non-empty")
+        if self.rate <= 0:
+            raise ValueError(f"stream {self.name!r} must have positive rate, got {self.rate}")
+        if self.source < 0:
+            raise ValueError(f"stream {self.name!r} has invalid source node {self.source}")
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A selection predicate on one stream.
+
+    Attributes:
+        stream: Name of the stream the predicate applies to.
+        predicate: Human-readable predicate text (kept for provenance and
+            for view-signature identity; not evaluated).
+        selectivity: Fraction of the stream's tuples that survive,
+            in ``(0, 1]``.
+    """
+
+    stream: str
+    predicate: str
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if not self.stream:
+            raise ValueError("filter must name a stream")
+        if not (0.0 < self.selectivity <= 1.0):
+            raise ValueError(
+                f"filter selectivity must be in (0, 1], got {self.selectivity}"
+            )

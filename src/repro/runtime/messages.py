@@ -1,0 +1,64 @@
+"""Protocol message vocabulary for the deployment protocol simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class QuerySubmit:
+    """A sink submits a query for planning.
+
+    Attributes:
+        query_name: Name of the query being planned.
+        sink: The submitting sink node.
+    """
+
+    query_name: str
+    sink: int
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """A coordinator hands a (sub)planning task to another coordinator.
+
+    Attributes:
+        query_name: Query the task belongs to.
+        task_index: Index into the optimizer's task trace.
+    """
+
+    query_name: str
+    task_index: int
+
+
+@dataclass(frozen=True)
+class DeployCommand:
+    """Instantiate an operator on a node.
+
+    Attributes:
+        query_name: Owning query.
+        operator_label: Human-readable operator identity.
+    """
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class DeployAck:
+    """An operator node confirms instantiation."""
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """A derived-stream advertisement propagating up the hierarchy.
+
+    Attributes:
+        view_label: Label of the advertised view.
+        node: Node offering the derived stream.
+    """
+
+    view_label: str
+    node: int

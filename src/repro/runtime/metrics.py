@@ -1,0 +1,43 @@
+"""Time-series metric recording for runtime experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded observation."""
+
+    time: float
+    metric: str
+    value: float
+
+
+class MetricsLog:
+    """An append-only metric log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._samples: list[Sample] = []
+
+    def record(self, time: float, metric: str, value: float) -> None:
+        """Append an observation."""
+        self._samples.append(Sample(time=time, metric=metric, value=value))
+
+    def series(self, metric: str) -> list[tuple[float, float]]:
+        """(time, value) pairs of one metric, in record order."""
+        return [(s.time, s.value) for s in self._samples if s.metric == metric]
+
+    def last(self, metric: str) -> float | None:
+        """Most recent value of a metric, or None."""
+        for sample in reversed(self._samples):
+            if sample.metric == metric:
+                return sample.value
+        return None
+
+    def metrics(self) -> set[str]:
+        """Names of all recorded metrics."""
+        return {s.metric for s in self._samples}
+
+    def __len__(self) -> int:
+        return len(self._samples)

@@ -1,0 +1,202 @@
+"""Deployment-protocol simulation: how long does deploying a query take?
+
+Reproduces what Figure 10 measures on Emulab.  Both hierarchical
+algorithms leave a *task trace* in their deployment stats: one entry per
+planning task with the coordinator node that ran it, the number of
+plan/assignment combinations it examined, the task that spawned it, and
+the physical nodes it instantiated operators on.  This module replays
+that trace as protocol traffic on the discrete-event simulator:
+
+1. the sink sends the query to the trace's first coordinator;
+2. each coordinator "computes" for ``plans x seconds_per_plan``
+   (modeling the exhaustive per-cluster search), then simultaneously
+   forwards sub-tasks to child coordinators and deploy commands to
+   operator hosts;
+3. operator hosts acknowledge to the sink; planning tasks report
+   completion to the sink;
+4. the *deployment time* is when the sink has seen every ack and every
+   task completion.
+
+Top-Down therefore pays one coordinator round per hierarchy level on
+every query, while Bottom-Up's trace stops climbing as soon as all
+sources are local -- the mechanism behind the paper's ~70% deployment
+time advantage for Bottom-Up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.graph import Network
+from repro.query.deployment import Deployment
+from repro.runtime.messages import DeployAck, DeployCommand, PlanRequest, QuerySubmit
+from repro.runtime.simulator import SimNode, Simulator
+
+DEFAULT_SECONDS_PER_PLAN = 2e-5
+"""Calibrated coordinator search speed: seconds per (tree, assignment)
+combination examined.  2007-era hardware enumerating small in-memory
+cost evaluations; the absolute value shifts Figure 10's y-axis but not
+its shape."""
+
+
+@dataclass
+class DeploymentTimeline:
+    """Timing of one simulated query deployment.
+
+    Attributes:
+        query_name: The deployed query.
+        submit_time: When the sink submitted the query.
+        completed_time: When the sink had every ack and task completion.
+        compute_seconds: Total coordinator computation (sum over tasks).
+        messages: Protocol messages delivered.
+        tasks: Number of planning tasks replayed.
+        operators_deployed: Deploy commands issued.
+    """
+
+    query_name: str
+    submit_time: float
+    completed_time: float
+    compute_seconds: float
+    messages: int
+    tasks: int
+    operators_deployed: int
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (virtual) deployment time in seconds."""
+        return self.completed_time - self.submit_time
+
+
+@dataclass
+class _TaskDone:
+    query_name: str
+    task_index: int
+
+
+class _Context:
+    def __init__(self, deployment: Deployment, seconds_per_plan: float) -> None:
+        trace = deployment.stats.get("task_trace")
+        if not trace:
+            raise ValueError(
+                "deployment has no task trace; only hierarchical optimizers "
+                "(top-down / bottom-up) can be protocol-simulated"
+            )
+        self.query = deployment.query
+        self.trace = trace
+        self.seconds_per_plan = seconds_per_plan
+        self.children: dict[int, list[int]] = {i: [] for i in range(len(trace))}
+        for idx, entry in enumerate(trace):
+            parent = entry["parent"]
+            if parent >= 0:
+                self.children[parent].append(idx)
+        self.expected_acks = sum(len(e.get("deploy_nodes", ())) for e in trace)
+        self.expected_tasks = len(trace)
+        self.acks = 0
+        self.tasks_done = 0
+        self.finish_time: float | None = None
+        self.compute_seconds = sum(
+            e["plans"] * seconds_per_plan for e in trace
+        )
+
+
+class _ProtocolActor(SimNode):
+    """One actor per physical node; coordinators and operator hosts alike."""
+
+    def __init__(self, node_id: int, ctx: _Context) -> None:
+        super().__init__(node_id)
+        self.ctx = ctx
+
+    def on_message(self, src: int, message) -> None:
+        assert self.sim is not None
+        if isinstance(message, (QuerySubmit, PlanRequest)):
+            task_index = 0 if isinstance(message, QuerySubmit) else message.task_index
+            entry = self.ctx.trace[task_index]
+            compute = entry["plans"] * self.ctx.seconds_per_plan
+
+            def finish_planning() -> None:
+                for child in self.ctx.children[task_index]:
+                    self.send(
+                        self.ctx.trace[child]["node"],
+                        PlanRequest(self.ctx.query.name, child),
+                    )
+                for op_node in entry.get("deploy_nodes", ()):
+                    self.send(
+                        op_node,
+                        DeployCommand(self.ctx.query.name, f"task{task_index}"),
+                    )
+                self.send(self.ctx.query.sink, _TaskDone(self.ctx.query.name, task_index))
+
+            self.sim.schedule(compute, finish_planning)
+        elif isinstance(message, DeployCommand):
+            # Operator instantiation is local and fast; ack to the sink.
+            self.send(self.ctx.query.sink, DeployAck(message.query_name, message.operator_label))
+        elif isinstance(message, (DeployAck, _TaskDone)):
+            if isinstance(message, DeployAck):
+                self.ctx.acks += 1
+            else:
+                self.ctx.tasks_done += 1
+            if (
+                self.ctx.acks >= self.ctx.expected_acks
+                and self.ctx.tasks_done >= self.ctx.expected_tasks
+            ):
+                if self.ctx.finish_time is None:
+                    self.ctx.finish_time = self.sim.now
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected message {message!r}")
+
+
+def simulate_deployment(
+    network: Network,
+    deployment: Deployment,
+    seconds_per_plan: float = DEFAULT_SECONDS_PER_PLAN,
+    start_time: float = 0.0,
+) -> DeploymentTimeline:
+    """Replay a deployment's planning protocol; return its timeline.
+
+    Args:
+        network: The physical network (provides message delays).
+        deployment: A deployment produced by a hierarchical optimizer
+            (its stats must carry a ``task_trace``).
+        seconds_per_plan: Coordinator search speed.
+        start_time: Virtual submission time.
+
+    Raises:
+        ValueError: If the deployment carries no task trace.
+    """
+    ctx = _Context(deployment, seconds_per_plan)
+    sim = Simulator(network)
+    for node in network.nodes():
+        sim.register(_ProtocolActor(node, ctx))
+    sim.now = start_time
+
+    sink = deployment.query.sink
+    # The submission is relayed hop by hop along the sink's coordinator
+    # chain (Top-Down climbs to the root; Bottom-Up stops at its leaf
+    # cluster's coordinator), ending at the first planning task's node.
+    chain = list(deployment.stats.get("submit_chain") or [ctx.trace[0]["node"]])
+    if chain[-1] != ctx.trace[0]["node"]:  # pragma: no cover - defensive
+        chain.append(ctx.trace[0]["node"])
+    hops = [sink] + chain
+    delay = 0.0
+    for a, b in zip(hops[:-1], hops[1:]):
+        if a != b:
+            delay += network.path_delay(a, b)
+            sim.messages_delivered += 1
+    sim.schedule(
+        delay,
+        lambda: sim.node(ctx.trace[0]["node"]).on_message(
+            sink, QuerySubmit(deployment.query.name, sink)
+        ),
+    )
+    sim.run()
+    if ctx.finish_time is None:  # pragma: no cover - defensive
+        raise RuntimeError("protocol simulation never completed")
+    return DeploymentTimeline(
+        query_name=deployment.query.name,
+        submit_time=start_time,
+        completed_time=ctx.finish_time,
+        compute_seconds=ctx.compute_seconds,
+        messages=sim.messages_delivered,
+        tasks=ctx.expected_tasks,
+        operators_deployed=ctx.expected_acks,
+    )

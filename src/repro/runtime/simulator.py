@@ -1,0 +1,102 @@
+"""Discrete-event simulator with message-passing nodes.
+
+The simulator advances a virtual clock through an event queue.  Nodes
+(:class:`SimNode`) exchange messages whose delivery delay is the
+network's shortest-path one-way delay between the sender and receiver,
+plus an optional per-message transmission time -- the same 1-60 ms link
+delays the paper's Emulab topology configures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.network.graph import Network
+from repro.runtime.events import EventQueue
+
+
+class Simulator:
+    """The event loop.
+
+    Args:
+        network: Physical network; its delay matrix times message
+            deliveries.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.now = 0.0
+        self._queue = EventQueue()
+        self._nodes: dict[int, "SimNode"] = {}
+        self.messages_delivered = 0
+
+    def register(self, node: "SimNode") -> None:
+        """Attach a node actor to the simulation."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+        node.sim = self
+
+    def node(self, node_id: int) -> "SimNode":
+        """The registered actor for a node id."""
+        return self._nodes[node_id]
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> None:
+        """Run ``action`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._queue.push(self.now + delay, action)
+
+    def send(self, src: int, dst: int, message: Any, extra_delay: float = 0.0) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after the network delay."""
+        if dst not in self._nodes:
+            raise KeyError(f"no actor registered at node {dst}")
+        delay = self.network.path_delay(src, dst) if src != dst else 0.0
+
+        def deliver() -> None:
+            self.messages_delivered += 1
+            self._nodes[dst].on_message(src, message)
+
+        self.schedule(delay + extra_delay, deliver)
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:
+        """Process events (optionally up to virtual time ``until``).
+
+        Returns the final simulation time.  ``max_events`` guards against
+        runaway protocols.
+        """
+        processed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            assert next_time is not None
+            if until is not None and next_time > until:
+                self.now = until
+                return self.now
+            event = self._queue.pop()
+            self.now = event.time
+            event.action()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+        return self.now
+
+
+class SimNode:
+    """A message-handling actor bound to a physical node.
+
+    Subclass and override :meth:`on_message`; use ``self.sim`` to send
+    messages or schedule local work (e.g. planning computation time).
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.sim: Simulator | None = None
+
+    def send(self, dst: int, message: Any, extra_delay: float = 0.0) -> None:
+        """Send a message from this node."""
+        assert self.sim is not None, "node is not registered with a simulator"
+        self.sim.send(self.node_id, dst, message, extra_delay=extra_delay)
+
+    def on_message(self, src: int, message: Any) -> None:  # pragma: no cover - abstract
+        """Handle a delivered message."""
+        raise NotImplementedError

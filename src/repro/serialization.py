@@ -1,0 +1,207 @@
+"""JSON serialization for networks, queries and workloads.
+
+Reproducible-experiment plumbing: a generated network + workload pair
+fully determines every experiment in this package, so persisting them
+lets a result be regenerated (or inspected) without re-running the
+generators.  Formats are plain JSON documents with a ``kind`` tag and a
+``version`` for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.network.graph import Network
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import Filter, StreamSpec
+from repro.workload.generator import Workload, WorkloadParams
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Network
+# ----------------------------------------------------------------------
+def network_to_json(network: Network) -> str:
+    """Serialize a network (nodes, kinds, links with all attributes)."""
+    doc = {
+        "kind": "repro.network",
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node, "kind": network.node_kind(node)} for node in network.nodes()
+        ],
+        "links": [
+            {
+                "u": link.u,
+                "v": link.v,
+                "cost": link.cost,
+                "delay": link.delay,
+                "bandwidth": link.bandwidth if link.bandwidth != float("inf") else None,
+                "kind": link.kind,
+            }
+            for link in network.links()
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def network_from_json(text: str) -> Network:
+    """Rebuild a network serialized by :func:`network_to_json`."""
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.network":
+        raise ValueError(f"not a serialized network: kind={doc.get('kind')!r}")
+    net = Network()
+    for node in sorted(doc["nodes"], key=lambda n: n["id"]):
+        created = net.add_node(kind=node.get("kind", ""))
+        if created != node["id"]:
+            raise ValueError("serialized node ids must be contiguous from 0")
+    for link in doc["links"]:
+        net.add_link(
+            link["u"],
+            link["v"],
+            cost=link["cost"],
+            delay=link.get("delay", 0.001),
+            bandwidth=link.get("bandwidth") or float("inf"),
+            kind=link.get("kind", ""),
+        )
+    return net
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def _query_to_dict(query: Query) -> dict[str, Any]:
+    return {
+        "name": query.name,
+        "sources": list(query.sources),
+        "sink": query.sink,
+        "window": query.window,
+        "allow_cross_products": query.allow_cross_products,
+        "projection": list(query.projection),
+        "predicates": [
+            {
+                "left": p.left,
+                "right": p.right,
+                "selectivity": p.selectivity,
+                "left_attr": p.left_attr,
+                "right_attr": p.right_attr,
+            }
+            for p in query.predicates
+        ],
+        "filters": [
+            {"stream": f.stream, "predicate": f.predicate, "selectivity": f.selectivity}
+            for f in query.filters
+        ],
+    }
+
+
+def _query_from_dict(doc: dict[str, Any]) -> Query:
+    return Query(
+        name=doc["name"],
+        sources=doc["sources"],
+        sink=doc["sink"],
+        predicates=[JoinPredicate(**p) for p in doc.get("predicates", [])],
+        filters=[Filter(**f) for f in doc.get("filters", [])],
+        projection=doc.get("projection", ()),
+        allow_cross_products=doc.get("allow_cross_products", False),
+        window=doc.get("window", 0.5),
+    )
+
+
+def query_to_json(query: Query) -> str:
+    """Serialize a single query."""
+    return json.dumps(
+        {"kind": "repro.query", "version": FORMAT_VERSION, **_query_to_dict(query)},
+        indent=2,
+    )
+
+
+def query_from_json(text: str) -> Query:
+    """Rebuild a query serialized by :func:`query_to_json`."""
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.query":
+        raise ValueError(f"not a serialized query: kind={doc.get('kind')!r}")
+    return _query_from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def workload_to_json(workload: Workload, include_network: bool = True) -> str:
+    """Serialize a workload (streams, selectivities, queries, params).
+
+    Args:
+        workload: The workload to persist.
+        include_network: Embed the network too (self-contained manifest).
+    """
+    doc: dict[str, Any] = {
+        "kind": "repro.workload",
+        "version": FORMAT_VERSION,
+        "seed": workload.seed,
+        "params": {
+            "num_streams": workload.params.num_streams,
+            "num_queries": workload.params.num_queries,
+            "joins_per_query": list(workload.params.joins_per_query),
+            "rate_range": list(workload.params.rate_range),
+            "selectivity_range": list(workload.params.selectivity_range),
+            "predicate_style": workload.params.predicate_style,
+            "window_range": list(workload.params.window_range),
+        },
+        "streams": [
+            {"name": s.name, "source": s.source, "rate": s.rate}
+            for s in workload.streams.values()
+        ],
+        "selectivities": [
+            {"pair": sorted(pair), "selectivity": sel}
+            for pair, sel in sorted(workload.selectivities.items(), key=lambda kv: sorted(kv[0]))
+        ],
+        "queries": [_query_to_dict(q) for q in workload.queries],
+    }
+    if include_network:
+        doc["network"] = json.loads(network_to_json(workload.network))
+    return json.dumps(doc, indent=2)
+
+
+def workload_from_json(text: str, network: Network | None = None) -> Workload:
+    """Rebuild a workload serialized by :func:`workload_to_json`.
+
+    Args:
+        text: The JSON document.
+        network: Required when the document was saved without an
+            embedded network.
+    """
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.workload":
+        raise ValueError(f"not a serialized workload: kind={doc.get('kind')!r}")
+    if network is None:
+        embedded = doc.get("network")
+        if embedded is None:
+            raise ValueError("document has no embedded network; pass one explicitly")
+        network = network_from_json(json.dumps(embedded))
+    params_doc = doc["params"]
+    params = WorkloadParams(
+        num_streams=params_doc["num_streams"],
+        num_queries=params_doc["num_queries"],
+        joins_per_query=tuple(params_doc["joins_per_query"]),
+        rate_range=tuple(params_doc["rate_range"]),
+        selectivity_range=tuple(params_doc["selectivity_range"]),
+        predicate_style=params_doc["predicate_style"],
+        window_range=tuple(params_doc.get("window_range", (0.5, 0.5))),
+    )
+    streams = {
+        s["name"]: StreamSpec(s["name"], s["source"], s["rate"])
+        for s in doc["streams"]
+    }
+    selectivities = {
+        frozenset(item["pair"]): item["selectivity"] for item in doc["selectivities"]
+    }
+    queries = [_query_from_dict(q) for q in doc["queries"]]
+    return Workload(
+        network=network,
+        streams=streams,
+        selectivities=selectivities,
+        queries=queries,
+        params=params,
+        seed=doc.get("seed"),
+    )

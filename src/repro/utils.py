@@ -1,0 +1,36 @@
+"""Small shared utilities (deterministic RNG plumbing, misc helpers)."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, None, np.random.Generator]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged, so callers can
+    thread one RNG through a pipeline), an integer seed, or ``None`` for
+    OS entropy.  Every stochastic entry point in this package takes a
+    ``seed`` argument funneled through here -- there is no hidden global
+    RNG state anywhere.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def double_factorial_odd(k: int) -> int:
+    """``(2k-3)!! `` -- the number of unordered bushy join trees over k leaves.
+
+    Defined as 1 for ``k in (0, 1, 2)`` (a single leaf or a single join).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    result = 1
+    for i in range(3, 2 * k - 2, 2):
+        result *= i
+    return result

@@ -1,0 +1,39 @@
+"""Workload generation.
+
+* :mod:`repro.workload.generator` -- the paper's Section 3 uniform
+  random workload generator: stream rates, selectivities and source
+  placements drawn uniformly, queries with a configurable number of
+  joins and random sink placements, all against a *global* selectivity
+  table so that overlapping queries produce matching view signatures
+  (the precondition for operator reuse).
+* :mod:`repro.workload.scenarios` -- named scenarios, most notably the
+  Delta-style airline Operational Information System of Section 1.1.
+"""
+
+from repro.workload.generator import Workload, WorkloadParams, generate_workload
+from repro.workload.scenarios import (
+    MonitoringScenario,
+    OisScenario,
+    airline_ois_scenario,
+    network_monitoring_scenario,
+)
+from repro.workload.statistics import (
+    EstimatedStatistics,
+    StatisticsCollector,
+    estimate_statistics,
+    simulate_observation,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadParams",
+    "generate_workload",
+    "OisScenario",
+    "airline_ois_scenario",
+    "MonitoringScenario",
+    "network_monitoring_scenario",
+    "EstimatedStatistics",
+    "StatisticsCollector",
+    "estimate_statistics",
+    "simulate_observation",
+]

@@ -1,0 +1,133 @@
+"""Tests for the analytical formulas (Lemma 1, beta, Theorems 2-4)."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    beta,
+    bottom_up_space_bound,
+    exhaustive_space,
+    hierarchy_estimate_slack,
+    hierarchy_height,
+    paper_join_orders,
+    top_down_space_bound,
+    top_down_suboptimality_bound,
+)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("k,expected", [(2, 1.0), (3, 4.0), (4, 10.0), (5, 20.0)])
+    def test_paper_join_order_factor(self, k, expected):
+        assert paper_join_orders(k) == expected
+
+    def test_exhaustive_space(self):
+        # K=3, N=10: 4 * 10^2
+        assert exhaustive_space(3, 10) == pytest.approx(400.0)
+
+    def test_k1_trivial(self):
+        assert exhaustive_space(1, 100) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            paper_join_orders(1)
+        with pytest.raises(ValueError):
+            exhaustive_space(3, 0)
+
+    def test_grows_exponentially_in_k(self):
+        assert exhaustive_space(5, 64) / exhaustive_space(4, 64) > 64
+
+
+class TestHierarchyHeight:
+    def test_small_network_single_level(self):
+        assert hierarchy_height(5, 8) == 1
+
+    def test_two_levels(self):
+        assert hierarchy_height(64, 8) == 2
+
+    def test_grows_logarithmically(self):
+        assert hierarchy_height(1024, 4) >= hierarchy_height(1024, 32)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hierarchy_height(0, 4)
+        with pytest.raises(ValueError):
+            hierarchy_height(10, 1)
+
+
+class TestBeta:
+    def test_paper_example(self):
+        """K=4 streams, N=1000 nodes, max_cs=10: beta must be tiny."""
+        b = beta(4, 1000, 10)
+        assert b < 0.01
+
+    def test_decreases_exponentially_with_k(self):
+        b3 = beta(3, 1000, 10)
+        b5 = beta(5, 1000, 10)
+        assert b5 < b3 * 1e-3
+
+    def test_max_cs_equal_n(self):
+        # single cluster: beta = h = 1, no savings
+        assert beta(3, 16, 16) == pytest.approx(1.0)
+
+    def test_max_cs_clamped_to_n(self):
+        assert beta(3, 16, 64) == pytest.approx(1.0)
+
+    def test_explicit_height(self):
+        assert beta(3, 100, 10, height=4) == pytest.approx(4 * (0.1) ** 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            beta(1, 10, 2)
+
+
+class TestSpaceBounds:
+    def test_theorem2_closed_form(self):
+        """beta * O_exhaustive == h * max_cs^(K-1) * join orders."""
+        k, n, cs = 4, 512, 8
+        h = hierarchy_height(n, cs)
+        expected = h * cs ** (k - 1) * paper_join_orders(k)
+        assert top_down_space_bound(k, n, cs) == pytest.approx(expected)
+
+    def test_theorem4_equals_theorem2(self):
+        assert bottom_up_space_bound(5, 256, 16) == top_down_space_bound(5, 256, 16)
+
+    def test_bound_below_exhaustive(self):
+        for n in (128, 256, 512, 1024):
+            assert top_down_space_bound(4, n, 32) < exhaustive_space(4, n)
+
+    def test_savings_exceed_99_percent_at_scale(self):
+        """The paper: both algorithms cut the search space by >= 99%."""
+        for n in (128, 256, 512, 1024):
+            ratio = top_down_space_bound(4, n, 32) / exhaustive_space(4, n)
+            assert ratio < 0.01 or n == 128 and ratio < 0.05
+
+    def test_nearly_flat_across_network_sizes(self):
+        """Fig 9: the worst-case bounds are nearly identical across N
+        because the N^(K-1) growth cancels against beta's decay."""
+        values = [top_down_space_bound(4, n, 32) for n in (128, 256, 512, 1024)]
+        assert max(values) / min(values) < 3.0
+
+
+class TestTheorem1Slack:
+    def test_level1_no_slack(self):
+        assert hierarchy_estimate_slack([5.0, 7.0], 1) == 0.0
+
+    def test_accumulates(self):
+        assert hierarchy_estimate_slack([5.0, 7.0], 3) == pytest.approx(24.0)
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            hierarchy_estimate_slack([1.0], 0)
+        with pytest.raises(ValueError):
+            hierarchy_estimate_slack([1.0], 5)
+
+
+class TestTheorem3:
+    def test_bound_formula(self):
+        # 3 edges at rates 10, 20, 30; d = [2, 3]; h = 3
+        bound = top_down_suboptimality_bound([10, 20, 30], [2.0, 3.0], 3)
+        assert bound == pytest.approx(60 * 2 * 5)
+
+    def test_zero_at_height_one(self):
+        assert top_down_suboptimality_bound([10.0], [4.0], 1) == 0.0

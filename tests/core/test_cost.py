@@ -1,0 +1,155 @@
+"""Tests for the rate model and the communication-cost objective."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import RateModel, deployment_cost
+from repro.core.enumeration import all_join_trees
+from repro.query.deployment import Deployment
+from repro.query.plan import Join, Leaf
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import Filter, StreamSpec
+
+
+@pytest.fixture()
+def streams():
+    return {
+        "A": StreamSpec("A", 0, 100.0),
+        "B": StreamSpec("B", 1, 200.0),
+        "C": StreamSpec("C", 2, 50.0),
+    }
+
+
+@pytest.fixture()
+def rates(streams):
+    return RateModel(streams)
+
+
+class TestRateModel:
+    def test_base_rate(self, rates):
+        q = Query("q", ["A"], sink=0)
+        assert rates.rate_for(q, {"A"}) == 100.0
+
+    def test_filter_scales_rate(self, rates):
+        q = Query("q", ["A"], sink=0, filters=[Filter("A", "p", 0.25)])
+        assert rates.rate_for(q, {"A"}) == 25.0
+
+    def test_join_rate(self, rates):
+        q = Query("q", ["A", "B"], sink=0, predicates=[JoinPredicate("A", "B", 0.01)])
+        assert rates.rate_for(q, {"A", "B"}) == pytest.approx(100 * 200 * 0.01)
+
+    def test_missing_predicate_is_cross_product(self, rates):
+        q = Query(
+            "q",
+            ["A", "B", "C"],
+            sink=0,
+            predicates=[JoinPredicate("A", "B", 0.01), JoinPredicate("B", "C", 0.1)],
+        )
+        # {A, C} has no predicate: cross product rate
+        assert rates.rate_for(q, {"A", "C"}) == pytest.approx(100 * 50)
+
+    def test_unknown_stream(self, rates):
+        with pytest.raises(KeyError, match="unknown stream"):
+            rates.stream("Z")
+
+    def test_source_lookup(self, rates):
+        assert rates.source("B") == 1
+
+    def test_rate_cached_by_signature(self, rates):
+        q = Query("q", ["A", "B"], sink=0, predicates=[JoinPredicate("A", "B", 0.01)])
+        r1 = rates.rate_for(q, {"A", "B"})
+        q2 = Query("q2", ["A", "B"], sink=5, predicates=[JoinPredicate("A", "B", 0.01)])
+        assert rates.rate_for(q2, {"A", "B"}) == r1
+
+    def test_invalid_inflation(self, streams):
+        with pytest.raises(ValueError):
+            RateModel(streams, reuse_rate_inflation=0.9)
+
+    def test_split_selectivity(self, rates):
+        q = Query(
+            "q",
+            ["A", "B", "C"],
+            sink=0,
+            predicates=[JoinPredicate("A", "B", 0.01), JoinPredicate("B", "C", 0.1)],
+        )
+        assert rates.split_selectivity(q, frozenset({"A"}), frozenset({"B", "C"})) == 0.01
+        assert rates.split_selectivity(q, frozenset({"A", "C"}), frozenset({"B"})) == pytest.approx(0.001)
+        assert rates.split_selectivity(q, frozenset({"A"}), frozenset({"C"})) == 1.0
+
+
+class TestJoinOrderInvariance:
+    """Final output rate must not depend on the chosen tree shape."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_all_trees_same_root_rate(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        names = ["A", "B", "C", "D"]
+        streams = {
+            n: StreamSpec(n, i, float(rng.uniform(10, 100))) for i, n in enumerate(names)
+        }
+        rates = RateModel(streams)
+        preds = [
+            JoinPredicate(names[i], names[i + 1], float(rng.uniform(0.001, 0.5)))
+            for i in range(3)
+        ]
+        q = Query("q", names, sink=0, predicates=preds)
+        trees = all_join_trees([frozenset((n,)) for n in names])
+        root_rates = {rates.rate_for(q, t.sources) for t in trees}
+        assert len(root_rates) == 1
+
+    def test_intermediate_rates_differ_by_shape(self, rates):
+        q = Query(
+            "q",
+            ["A", "B", "C"],
+            sink=0,
+            predicates=[JoinPredicate("A", "B", 0.001), JoinPredicate("B", "C", 0.5)],
+        )
+        t1 = Join(Join(Leaf.of("A"), Leaf.of("B")), Leaf.of("C"))
+        t2 = Join(Join(Leaf.of("B"), Leaf.of("C")), Leaf.of("A"))
+        v1 = rates.intermediate_volume(q, t1)
+        v2 = rates.intermediate_volume(q, t2)
+        assert v1 != pytest.approx(v2)
+
+
+class TestFlowRates:
+    def test_reuse_leaf_inflated(self, streams):
+        rates = RateModel(streams, reuse_rate_inflation=2.0)
+        q = Query("q", ["A", "B"], sink=0, predicates=[JoinPredicate("A", "B", 0.01)])
+        reuse = Leaf.of("A", "B")
+        flows = rates.flow_rates(q, reuse)
+        assert flows[reuse] == pytest.approx(2.0 * rates.rate_for(q, {"A", "B"}))
+
+    def test_base_leaf_not_inflated(self, streams):
+        rates = RateModel(streams, reuse_rate_inflation=2.0)
+        q = Query("q", ["A"], sink=0)
+        leaf = Leaf.of("A")
+        assert rates.flow_rates(q, leaf)[leaf] == 100.0
+
+
+class TestDeploymentCost:
+    def test_line_network_hand_computed(self, rates):
+        from repro.network.topology import line
+
+        net = line(5, cost=2.0)
+        q = Query("q", ["A", "B"], sink=4, predicates=[JoinPredicate("A", "B", 0.01)])
+        a, b = Leaf.of("A"), Leaf.of("B")
+        join = Join(a, b)
+        d = Deployment(query=q, plan=join, placement={a: 0, b: 1, join: 2})
+        cost = deployment_cost(d, net.cost_matrix(), rates)
+        expected = 100 * 2 * 2.0 + 200 * 1 * 2.0 + (100 * 200 * 0.01) * 2 * 2.0
+        assert cost == pytest.approx(expected)
+
+    def test_sink_colocation_free_delivery(self, rates):
+        from repro.network.topology import line
+
+        net = line(3)
+        q = Query("q", ["A", "B"], sink=2, predicates=[JoinPredicate("A", "B", 0.01)])
+        a, b = Leaf.of("A"), Leaf.of("B")
+        join = Join(a, b)
+        d = Deployment(query=q, plan=join, placement={a: 0, b: 1, join: 2})
+        cost = deployment_cost(d, net.cost_matrix(), rates)
+        assert cost == pytest.approx(100 * 2 + 200 * 1)

@@ -1,0 +1,171 @@
+"""Smoke tests for every figure driver at tiny scale.
+
+Each driver must return a well-formed FigureResult whose series align
+with the x axis, whose summary carries the documented headline keys, and
+whose core qualitative relationships hold even at reduced averaging.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure02_motivation,
+    figure05_bottom_up_cluster_sweep,
+    figure06_top_down_cluster_sweep,
+    figure07_suboptimality_and_reuse,
+    figure08_baseline_comparison,
+    figure09_search_space_scalability,
+    figure10_deployment_time,
+    figure11_prototype_cumulative_cost,
+)
+
+
+def _check_shape(result):
+    assert result.figure.startswith("fig")
+    assert result.x
+    for name, series in result.series.items():
+        assert len(series) == len(result.x), name
+    for key in result.summary:
+        assert isinstance(result.summary[key], float)
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure02_motivation(queries=12, seed=0)
+
+    def test_shape(self, result):
+        _check_shape(result)
+        assert set(result.series) == {
+            "relaxation",
+            "plan-then-deploy",
+            "our-approach (top-down)",
+        }
+
+    def test_joint_wins(self, result):
+        ours = result.series["our-approach (top-down)"][-1]
+        assert ours <= result.series["relaxation"][-1]
+        assert ours <= result.series["plan-then-deploy"][-1] * 1.01
+
+
+class TestClusterSweeps:
+    @pytest.fixture(scope="class")
+    def bu(self):
+        return figure05_bottom_up_cluster_sweep(
+            workloads=1, queries=6, max_cs_values=(4, 16), num_nodes=64, seed=0
+        )
+
+    @pytest.fixture(scope="class")
+    def td(self):
+        return figure06_top_down_cluster_sweep(
+            workloads=1, queries=6, max_cs_values=(4, 16), num_nodes=64, seed=0
+        )
+
+    def test_shapes(self, bu, td):
+        _check_shape(bu)
+        _check_shape(td)
+        assert bu.figure == "fig5"
+        assert td.figure == "fig6"
+
+    def test_series_per_cluster_size(self, bu):
+        assert set(bu.series) == {"cluster size=4", "cluster size=16"}
+
+    def test_curves_nondecreasing(self, bu):
+        for series in bu.series.values():
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure07_suboptimality_and_reuse(
+            workloads=1, queries=8, num_nodes=64, max_cs=16, seed=0
+        )
+
+    def test_shape(self, result):
+        _check_shape(result)
+        assert len(result.series) == 5
+
+    def test_orderings(self, result):
+        final = {k: v[-1] for k, v in result.series.items()}
+        assert final["optimal"] <= final["top-down with reuse"] + 1e-6
+        assert final["top-down with reuse"] <= final["top-down without reuse"] + 1e-6
+        assert final["bottom-up with reuse"] <= final["bottom-up without reuse"] + 1e-6
+
+    def test_summary_keys(self, result):
+        for key in (
+            "top_down_suboptimality_pct",
+            "bottom_up_suboptimality_pct",
+            "top_down_reuse_saving_pct",
+            "bottom_up_reuse_saving_pct",
+        ):
+            assert key in result.summary
+            assert key in result.expectations
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure08_baseline_comparison(
+            workloads=1, queries=8, num_nodes=64, max_cs=16, seed=0
+        )
+
+    def test_shape(self, result):
+        _check_shape(result)
+        assert "in-network with reuse" in result.series
+
+    def test_exhaustive_is_floor(self, result):
+        final = {k: v[-1] for k, v in result.series.items()}
+        floor = final["exhaustive (optimal)"]
+        assert all(v >= floor - 1e-6 for v in final.values())
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure09_search_space_scalability(
+            network_sizes=(64, 128), queries=4, num_streams=20, seed=0
+        )
+
+    def test_shape(self, result):
+        _check_shape(result)
+
+    def test_relationships(self, result):
+        for i in range(len(result.x)):
+            ex = result.series["exhaustive (Lemma 1)"][i]
+            bound = result.series["analytical bound (Thm 2/4)"][i]
+            td = result.series["top-down (measured)"][i]
+            bu = result.series["bottom-up (measured)"][i]
+            assert bound <= ex
+            assert td <= bound
+            assert bu <= bound
+
+
+class TestPrototypeFigures:
+    @pytest.fixture(scope="class")
+    def f10(self):
+        return figure10_deployment_time(queries=8, seed=0)
+
+    @pytest.fixture(scope="class")
+    def f11(self):
+        return figure11_prototype_cumulative_cost(queries=8, seed=0)
+
+    def test_f10_shape(self, f10):
+        _check_shape(f10)
+        assert any("Bottom-Up" in k for k in f10.series)
+        assert all(
+            v > 0 or math.isnan(v) for series in f10.series.values() for v in series
+        )
+
+    def test_f10_bu_faster(self, f10):
+        assert f10.summary["bu_faster_than_td_pct"] > -5.0  # BU not slower overall
+
+    def test_f11_shape(self, f11):
+        _check_shape(f11)
+        for series in f11.series.values():
+            assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+
+    def test_f11_td_wins(self, f11):
+        final = {k: v[-1] for k, v in f11.series.items()}
+        assert final["Top-Down (cluster size=8)"] <= final["Bottom-Up (cluster size=8)"] + 1e-6

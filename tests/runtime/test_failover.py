@@ -1,0 +1,130 @@
+"""Tests for node-failure handling and coordinator backups."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime.failover import FailureReport, backup_coordinator, fail_node
+
+
+@pytest.fixture()
+def running_system():
+    net = repro.transit_stub_by_size(32, seed=51)
+    hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+    workload = repro.generate_workload(
+        net,
+        repro.WorkloadParams(num_streams=6, num_queries=6, joins_per_query=(1, 3)),
+        seed=52,
+    )
+    rates = workload.rate_model()
+    engine = repro.FlowEngine(net, rates)
+    optimizer = repro.TopDownOptimizer(hierarchy, rates)
+    for query in workload:
+        engine.deploy(optimizer.plan(query, engine.state))
+    return net, hierarchy, workload, rates, engine, optimizer
+
+
+class TestBackupCoordinator:
+    def test_backup_is_a_member_but_not_coordinator(self, running_system):
+        net, hierarchy, *_ = running_system
+        costs = net.cost_matrix()
+        for cluster in hierarchy.levels[0]:
+            backup = backup_coordinator(cluster, costs)
+            if cluster.size == 1:
+                assert backup is None
+            else:
+                assert backup in cluster.members
+                assert backup != cluster.coordinator
+
+    def test_backup_takes_over_on_failure(self, running_system):
+        net, hierarchy, *_ = running_system
+        costs = net.cost_matrix()
+        cluster = next(c for c in hierarchy.levels[0] if c.size >= 3)
+        coordinator = cluster.coordinator
+        expected_backup = backup_coordinator(cluster, costs)
+        report = fail_node(hierarchy, coordinator)
+        hierarchy.validate()
+        assert 1 in report.coordinator_roles
+        assert report.new_coordinators[1] == expected_backup
+
+
+class TestFailNode:
+    def test_non_coordinator_failure(self, running_system):
+        net, hierarchy, *_ = running_system
+        cluster = next(c for c in hierarchy.levels[0] if c.size >= 3)
+        victim = next(m for m in cluster.members if m != cluster.coordinator)
+        report = fail_node(hierarchy, victim)
+        assert report.coordinator_roles == []
+        assert victim not in hierarchy.root.subtree_nodes()
+        hierarchy.validate()
+
+    def test_multi_level_coordinator_failure(self, running_system):
+        net, hierarchy, *_ = running_system
+        # the root coordinator coordinates at several levels
+        root_coord = hierarchy.root.coordinator
+        report = fail_node(hierarchy, root_coord)
+        assert len(report.coordinator_roles) >= 1
+        assert root_coord not in hierarchy.root.subtree_nodes()
+        hierarchy.validate()
+
+    def test_identifies_affected_queries(self, running_system):
+        net, hierarchy, workload, rates, engine, optimizer = running_system
+        # pick a node hosting at least one operator
+        victim = next(
+            node for (_, node) in engine.state.operators()
+        )
+        report = fail_node(hierarchy, victim, engine=engine)
+        assert report.affected_queries
+        # without an optimizer nothing is redeployed
+        assert report.redeployed == []
+
+    def test_redeploys_affected_queries(self, running_system):
+        net, hierarchy, workload, rates, engine, optimizer = running_system
+        victim = next(node for (_, node) in engine.state.operators())
+        protected = {rates.source(s) for s in rates.streams} | {
+            q.sink for q in workload
+        }
+        if victim in protected:
+            pytest.skip("victim hosts a source/sink in this seed")
+        before = {d.query.name for d in engine.state.deployments}
+        report = fail_node(hierarchy, victim, engine=engine, optimizer=optimizer)
+        assert set(report.redeployed) | set(report.failed_queries) == set(
+            report.affected_queries
+        )
+        after = {d.query.name for d in engine.state.deployments}
+        assert after == (before - set(report.failed_queries))
+        # no surviving deployment touches the failed node
+        for deployment in engine.state.deployments:
+            for subtree, node in deployment.placement.items():
+                from repro.query.plan import Leaf
+
+                if isinstance(subtree, Leaf) and subtree.is_base_stream:
+                    continue
+                assert node != victim
+
+    def test_source_failure_marks_query_failed(self):
+        net = repro.transit_stub_by_size(32, seed=61)
+        hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+        streams = {
+            "A": repro.StreamSpec("A", 3, 50.0),
+            "B": repro.StreamSpec("B", 7, 50.0),
+        }
+        rates = repro.RateModel(streams)
+        query = repro.Query(
+            "q", ["A", "B"], sink=12,
+            predicates=[repro.JoinPredicate("A", "B", 0.01)],
+        )
+        engine = repro.FlowEngine(net, rates)
+        optimizer = repro.TopDownOptimizer(hierarchy, rates)
+        engine.deploy(optimizer.plan(query, engine.state))
+        # force the failure to touch the query: fail its source node if it
+        # hosts an operator, otherwise fail an operator node co-located
+        # with nothing -- we directly fail the source which always carries
+        # the base flow endpoint only; instead fail node 3 and expect the
+        # query to be failed only if it had an operator there.
+        report = fail_node(hierarchy, 3, engine=engine, optimizer=optimizer)
+        if "q" in report.affected_queries:
+            assert "q" in report.failed_queries
+            assert engine.total_cost() == pytest.approx(0.0)
+        else:
+            assert engine.total_cost() > 0
