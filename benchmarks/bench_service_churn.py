@@ -1,0 +1,112 @@
+"""Service-level churn: queries/second and plan-cache hit rate.
+
+Replays the short-lived-query workload of ``bench_ablation_short_lived``
+through the :class:`repro.StreamQueryService` -- queries arrive a few
+per tick, live a handful of ticks, and the whole sequence repeats, so
+every repeat round should be served from the plan cache (the fingerprint
+is name-insensitive).  Reports sustained deployments/second with and
+without the cache, plus hit rate and admission counters under a
+backpressuring budget.
+"""
+
+import time
+
+from benchmarks.conftest import bench_scale, save_text
+from repro.hierarchy import AdvertisementIndex
+from repro.experiments.harness import build_env
+from repro.service import AdmissionController, PlanCache, StreamQueryService, churn_trace
+from repro.workload.generator import WorkloadParams
+
+
+def _build_service(env, max_cs, budget=8, cache_capacity=256):
+    hierarchy = env.hierarchy(max_cs)
+    ads = AdvertisementIndex(hierarchy)
+    optimizer = env.optimizer("bottom-up", max_cs=max_cs, ads=ads)
+    return StreamQueryService(
+        optimizer,
+        env.network,
+        env.rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=AdmissionController(budget=budget),
+        cache=PlanCache(capacity=cache_capacity),
+    )
+
+
+def test_service_churn_throughput(benchmark):
+    params = WorkloadParams(
+        num_streams=8,
+        num_queries=bench_scale(30, 15),
+        joins_per_query=(2, 4),
+    )
+    env = build_env(32, params, max_cs_values=(4,), seed=23)
+    repeats = bench_scale(4, 3)
+
+    # cached service
+    service = _build_service(env, max_cs=4)
+    trace = churn_trace(env.workload, lifetime=4.0, arrivals_per_tick=3, repeats=repeats)
+    start = time.perf_counter()
+    report = service.replay(trace)
+    cached_wall = time.perf_counter() - start
+
+    # control: same trace with a cache too small to ever hit (entries are
+    # LRU-evicted before any resubmission comes around again)
+    control = _build_service(env, max_cs=4, cache_capacity=1)
+    start = time.perf_counter()
+    control_report = control.replay(
+        churn_trace(env.workload, lifetime=4.0, arrivals_per_tick=3, repeats=repeats)
+    )
+    control_wall = time.perf_counter() - start
+
+    s = report.summary
+    qps = s["deployed_total"] / cached_wall
+    control_qps = control_report.summary["deployed_total"] / control_wall
+    lines = [
+        "query lifecycle service under short-lived-query churn",
+        "",
+        f"  trace: {s['submitted']} submissions "
+        f"({repeats}x {len(env.workload)} queries, lifetime 4 ticks, 3/tick)",
+        f"  admitted {s['admitted']}  rejected {s['rejected']}  "
+        f"peak queue {max(v for _, v in service.metrics.series('service_queue_depth')):.0f}",
+        "",
+        f"  {'':18} {'deploys/s':>12} {'plans':>8} {'hit rate':>9}",
+        f"  {'plan cache on':18} {qps:>12,.0f} {s['plans_computed']:>8} "
+        f"{s['cache_hit_rate']:>9.1%}",
+        f"  {'plan cache off':18} {control_qps:>12,.0f} "
+        f"{control_report.summary['plans_computed']:>8} "
+        f"{control_report.summary['cache_hit_rate']:>9.1%}",
+        "",
+        f"  planning time amortized: {s['planning_seconds'] * 1000:,.1f} ms vs "
+        f"{control_report.summary['planning_seconds'] * 1000:,.1f} ms without caching",
+    ]
+    save_text("service_churn", "\n".join(lines))
+
+    # repeat rounds are largely served from the cache (a few entries may
+    # be re-planned when the views their plan reused retired with churn)
+    assert s["plans_computed"] < s["deployed_total"]
+    assert s["cache_hits"] > 0
+    assert s["cache_hit_rate"] > 0.3
+    # the control re-plans every submission
+    assert control_report.summary["plans_computed"] == control_report.summary["deployed_total"]
+    # caching must not change what gets deployed
+    assert s["deployed_total"] == control_report.summary["deployed_total"]
+
+    # benchmark one warm submit/retire cycle (cache-hit path)
+    query = env.workload.queries[0]
+    counter = iter(range(10_000_000))
+
+    def warm_cycle():
+        import repro
+
+        name = f"bench-{next(counter)}"
+        resubmission = repro.Query(
+            name,
+            sources=query.sources,
+            sink=query.sink,
+            predicates=query.predicates,
+            window=query.window,
+        )
+        service.submit(resubmission)
+        service.retire(name)
+
+    benchmark(warm_cycle)

@@ -86,6 +86,16 @@ from repro.runtime import (
     run_dataplane,
     simulate_deployment,
 )
+from repro.service import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatus,
+    PlanCache,
+    StreamQueryService,
+    SubmitEvent,
+    churn_trace,
+    query_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -140,6 +150,15 @@ __all__ = [
     "MetricsLog",
     "fail_node",
     "run_dataplane",
+    # lifecycle service
+    "StreamQueryService",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStatus",
+    "PlanCache",
+    "SubmitEvent",
+    "churn_trace",
+    "query_fingerprint",
     "network_to_json",
     "network_from_json",
     "query_to_json",

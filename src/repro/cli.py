@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro demo quickstart            # run a built-in demo end to end
     repro bounds -k 4 -n 1000 --max-cs 10
     repro plan "SELECT A.x FROM A, B WHERE A.k = B.k" --nodes 32 --sink 5
+    repro serve --queries 40 --budget 8 --repeats 2   # lifecycle service
 
 Everything the CLI does is also available as a library call; the CLI is
 a thin veneer for kicking the tires.
@@ -125,6 +126,86 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import pathlib
+
+    import repro
+    from repro.service import AdmissionController, PlanCache, StreamQueryService, churn_trace
+
+    if args.trace:
+        path = pathlib.Path(args.trace)
+        if not path.is_file():
+            print(f"error: trace file not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            workload = repro.workload_from_json(path.read_text())
+        except (ValueError, KeyError, AttributeError, TypeError) as exc:
+            print(f"error: {path} is not a workload manifest: {exc}", file=sys.stderr)
+            return 2
+        network = workload.network
+    else:
+        network = repro.transit_stub_by_size(args.nodes, seed=args.seed or 0)
+        workload = repro.generate_workload(
+            network,
+            repro.WorkloadParams(
+                num_streams=args.streams,
+                num_queries=args.queries,
+                joins_per_query=(2, min(4, args.streams - 1)),
+            ),
+            seed=args.seed or 0,
+        )
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads
+    )
+    try:
+        admission = AdmissionController(
+            budget=args.budget,
+            max_queue=args.max_queue,
+            max_per_tick=args.per_tick,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = StreamQueryService(
+        optimizer,
+        network,
+        rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=admission,
+        cache=PlanCache(capacity=args.cache_capacity),
+    )
+    trace = churn_trace(
+        workload,
+        lifetime=args.lifetime,
+        arrivals_per_tick=args.arrivals,
+        repeats=args.repeats,
+    )
+    report = service.replay(trace)
+
+    s = report.summary
+    print(f"query lifecycle service: {args.algorithm} on {len(network.nodes())} nodes")
+    print(f"  trace: {s['submitted']} submissions over {report.ticks} ticks "
+          f"({args.repeats}x {len(workload)} queries, lifetime {args.lifetime})")
+    print(f"  admitted {s['admitted']}  rejected {s['rejected']}  "
+          f"deployed {s['deployed_total']}  retired {s['retired_total']}")
+    print(f"  plan cache: {s['cache_hits']} hits / {s['cache_misses']} misses "
+          f"(hit rate {s['cache_hit_rate']:.1%}), {s['plans_computed']} plans computed")
+    print(f"  planning: {s['planning_seconds'] * 1000:.1f} ms total, "
+          f"{s['queries_per_second']:,.0f} deployments/s wall-clock")
+    print(f"  epochs: statistics {service.statistics_epoch}, "
+          f"topology {service.topology_epoch}")
+    print(f"  final: {s['final_live']} live queries, cost {s['final_cost']:,.1f}/unit-time")
+    depth = service.metrics.series("service_queue_depth")
+    if depth:
+        peak = max(v for _, v in depth)
+        print(f"  queue: peak depth {peak:.0f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -159,6 +240,37 @@ def build_parser() -> argparse.ArgumentParser:
                                "in-network", "plan-then-deploy"])
     plan.add_argument("--seed", type=int, default=None)
     plan.set_defaults(func=_cmd_plan)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the query lifecycle service over a churning workload trace",
+    )
+    serve.add_argument("--trace", default=None,
+                       help="workload JSON (from repro.workload_to_json); "
+                            "omit to generate one")
+    serve.add_argument("--nodes", type=int, default=32)
+    serve.add_argument("--streams", type=int, default=8)
+    serve.add_argument("--queries", type=int, default=20)
+    serve.add_argument("--budget", type=int, default=8,
+                       help="concurrent-deployment budget")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="submission-queue bound (default unbounded)")
+    serve.add_argument("--per-tick", type=int, default=None,
+                       help="max queue admissions per tick")
+    serve.add_argument("--lifetime", type=float, default=5.0,
+                       help="ticks each query stays deployed")
+    serve.add_argument("--arrivals", type=int, default=2,
+                       help="submissions per tick in the trace")
+    serve.add_argument("--repeats", type=int, default=2,
+                       help="times the query sequence is replayed "
+                            "(exercises the plan cache)")
+    serve.add_argument("--cache-capacity", type=int, default=256)
+    serve.add_argument("--max-cs", type=int, default=8)
+    serve.add_argument("--algorithm", default="top-down",
+                       choices=["top-down", "bottom-up", "optimal", "relaxation",
+                                "in-network", "plan-then-deploy"])
+    serve.add_argument("--seed", type=int, default=None)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -167,6 +279,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-serve`` console script.
+
+    Equivalent to ``repro serve ...`` -- a dedicated binary name for the
+    long-running service so process managers can target it directly.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["serve", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,12 +46,38 @@ class RateModel:
         self._streams = dict(streams)
         self.reuse_rate_inflation = reuse_rate_inflation
         self._cache: dict[ViewSignature, float] = {}
+        self._version = 0
 
     # ------------------------------------------------------------------
     @property
     def streams(self) -> dict[str, StreamSpec]:
         """The base stream catalog (name -> spec)."""
         return dict(self._streams)
+
+    @property
+    def version(self) -> int:
+        """Statistics version, bumped by :meth:`update_streams`.
+
+        Consumers that cache anything derived from rates (notably the
+        query lifecycle service's plan cache) compare this counter to
+        detect statistics changes.
+        """
+        return self._version
+
+    def update_streams(self, streams: Mapping[str, StreamSpec]) -> None:
+        """Swap in re-estimated stream specs (rates and/or sources).
+
+        Clears the memoized view rates and bumps :attr:`version` so
+        epoch-based caches invalidate.  The new catalog must cover every
+        stream of the old one (queries already planned against the model
+        must stay resolvable).
+        """
+        missing = set(self._streams) - set(streams)
+        if missing:
+            raise ValueError(f"updated statistics drop streams: {sorted(missing)}")
+        self._streams = dict(streams)
+        self._cache.clear()
+        self._version += 1
 
     def stream(self, name: str) -> StreamSpec:
         """Spec of one base stream."""

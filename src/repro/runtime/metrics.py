@@ -1,4 +1,11 @@
-"""Time-series metric recording for runtime experiments."""
+"""Time-series metric recording for runtime experiments.
+
+Samples are bucketed per metric at record time, so :meth:`MetricsLog.series`
+and :meth:`MetricsLog.last` are O(series length) / O(1) instead of scanning
+every sample ever recorded -- the query lifecycle service records several
+metrics per tick and reads them back continuously, which made the old
+whole-log scan a hot path.
+"""
 
 from __future__ import annotations
 
@@ -18,26 +25,34 @@ class MetricsLog:
     """An append-only metric log with simple query helpers."""
 
     def __init__(self) -> None:
-        self._samples: list[Sample] = []
+        # metric name -> (time, value) pairs, in record order
+        self._by_metric: dict[str, list[tuple[float, float]]] = {}
+        self._count = 0
 
     def record(self, time: float, metric: str, value: float) -> None:
         """Append an observation."""
-        self._samples.append(Sample(time=time, metric=metric, value=value))
+        self._by_metric.setdefault(metric, []).append((time, value))
+        self._count += 1
 
     def series(self, metric: str) -> list[tuple[float, float]]:
         """(time, value) pairs of one metric, in record order."""
-        return [(s.time, s.value) for s in self._samples if s.metric == metric]
+        return list(self._by_metric.get(metric, ()))
 
     def last(self, metric: str) -> float | None:
         """Most recent value of a metric, or None."""
-        for sample in reversed(self._samples):
-            if sample.metric == metric:
-                return sample.value
-        return None
+        points = self._by_metric.get(metric)
+        return points[-1][1] if points else None
 
     def metrics(self) -> set[str]:
         """Names of all recorded metrics."""
-        return {s.metric for s in self._samples}
+        return set(self._by_metric)
+
+    def samples(self, metric: str) -> list[Sample]:
+        """The full :class:`Sample` records of one metric."""
+        return [
+            Sample(time=t, metric=metric, value=v)
+            for t, v in self._by_metric.get(metric, ())
+        ]
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._count

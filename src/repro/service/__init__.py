@@ -1,0 +1,38 @@
+"""Query lifecycle service: plan caching, admission control, epochs.
+
+The control plane that turns the one-shot optimizer library into a
+long-running server.  See :mod:`repro.service.service` for the full
+story.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatus,
+)
+from repro.service.cache import CachedPlan, PlanCache
+from repro.service.fingerprint import canonical_form, query_fingerprint
+from repro.service.service import (
+    ReplayReport,
+    ServiceFailureReport,
+    StreamQueryService,
+    SubmitEvent,
+    TickReport,
+    churn_trace,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStatus",
+    "CachedPlan",
+    "PlanCache",
+    "ReplayReport",
+    "ServiceFailureReport",
+    "StreamQueryService",
+    "SubmitEvent",
+    "TickReport",
+    "canonical_form",
+    "churn_trace",
+    "query_fingerprint",
+]

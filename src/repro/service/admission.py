@@ -1,0 +1,161 @@
+"""Admission control for the query lifecycle service.
+
+The controller enforces a *concurrent-deployment budget*: at most
+``budget`` queries run at once.  Submissions beyond the budget are not
+failed -- they join a FIFO submission queue and deploy as capacity frees
+up (backpressure), with an optional queue bound past which submissions
+are gracefully rejected with a typed :class:`AdmissionDecision`.  A
+per-tick admission limit additionally smooths deployment bursts so a
+mass retirement does not trigger a planning stampede in one tick.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.query.query import Query
+
+
+class AdmissionStatus(enum.Enum):
+    """Outcome class of one submission."""
+
+    ADMITTED = "admitted"
+    QUEUED = "queued"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Typed outcome of submitting a query to the service.
+
+    Attributes:
+        query: Name of the submitted query.
+        status: Admitted now, queued for a later tick, or rejected.
+        reason: Human-readable explanation (rejections and queueing).
+        queue_position: 1-based position in the submission queue when
+            ``status`` is QUEUED.
+    """
+
+    query: str
+    status: AdmissionStatus
+    reason: str = ""
+    queue_position: int | None = None
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the query was deployed immediately."""
+        return self.status is AdmissionStatus.ADMITTED
+
+    @property
+    def rejected(self) -> bool:
+        """Whether the submission was refused outright."""
+        return self.status is AdmissionStatus.REJECTED
+
+
+class AdmissionController:
+    """Budgeted admission with a bounded FIFO submission queue.
+
+    Args:
+        budget: Maximum concurrently deployed queries (>= 1).
+        max_queue: Submission-queue bound; ``None`` means unbounded
+            backpressure, ``0`` disables queueing (reject at budget).
+        max_per_tick: Cap on queue admissions per tick; ``None`` drains
+            as much as capacity allows.
+    """
+
+    def __init__(
+        self,
+        budget: int = 16,
+        max_queue: int | None = None,
+        max_per_tick: int | None = None,
+    ) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if max_per_tick is not None and max_per_tick < 1:
+            raise ValueError("max_per_tick must be >= 1")
+        self.budget = budget
+        self.max_queue = max_queue
+        self.max_per_tick = max_per_tick
+        self._queue: deque[Query] = deque()
+        self.admitted_total = 0
+        self.queued_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Queries currently waiting for capacity."""
+        return len(self._queue)
+
+    def queued_names(self) -> list[str]:
+        """Names of waiting queries, front of the queue first."""
+        return [q.name for q in self._queue]
+
+    def is_queued(self, name: str) -> bool:
+        """Whether a query of that name is waiting."""
+        return any(q.name == name for q in self._queue)
+
+    # ------------------------------------------------------------------
+    def request(self, query: Query, live_count: int) -> AdmissionDecision:
+        """Decide one submission given the current live-deployment count.
+
+        Admission requires both free budget *and* an empty queue (FIFO
+        fairness: nobody overtakes queued queries).  Callers deploy the
+        query themselves when the decision is ADMITTED.
+        """
+        if live_count < self.budget and not self._queue:
+            self.admitted_total += 1
+            return AdmissionDecision(query=query.name, status=AdmissionStatus.ADMITTED)
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self.rejected_total += 1
+            return AdmissionDecision(
+                query=query.name,
+                status=AdmissionStatus.REJECTED,
+                reason=(
+                    f"budget {self.budget} in use and submission queue full "
+                    f"({len(self._queue)}/{self.max_queue})"
+                ),
+            )
+        self._queue.append(query)
+        self.queued_total += 1
+        return AdmissionDecision(
+            query=query.name,
+            status=AdmissionStatus.QUEUED,
+            reason=f"{live_count}/{self.budget} deployments in use",
+            queue_position=len(self._queue),
+        )
+
+    def reject(self, query: Query, reason: str) -> AdmissionDecision:
+        """Record a validation rejection (bad query, duplicate name, ...)."""
+        self.rejected_total += 1
+        return AdmissionDecision(
+            query=query.name, status=AdmissionStatus.REJECTED, reason=reason
+        )
+
+    def drain(self, live_count: int) -> list[Query]:
+        """Pop the queries that may deploy this tick, FIFO order.
+
+        Bounded by free budget and ``max_per_tick``.  The controller
+        counts them admitted; the caller performs the deployments.
+        """
+        free = max(0, self.budget - live_count)
+        if self.max_per_tick is not None:
+            free = min(free, self.max_per_tick)
+        admitted: list[Query] = []
+        while free > 0 and self._queue:
+            admitted.append(self._queue.popleft())
+            self.admitted_total += 1
+            free -= 1
+        return admitted
+
+    def withdraw(self, name: str) -> bool:
+        """Remove a queued query by name (e.g. client cancellation)."""
+        for i, query in enumerate(self._queue):
+            if query.name == name:
+                del self._queue[i]
+                return True
+        return False

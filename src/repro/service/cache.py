@@ -1,0 +1,124 @@
+"""Memoized plan cache with epoch-based invalidation.
+
+Entries are keyed on ``(fingerprint, statistics_epoch, topology_epoch)``:
+a cached plan is only ever served while *both* epochs still match, so
+bumping an epoch implicitly invalidates every older entry.  The cache
+stores the plan tree and placement (not the full
+:class:`~repro.query.deployment.Deployment`) so a hit can be re-bound to
+a submission with a different query name; plan trees compare
+structurally, making the stored placement dict reusable as-is.
+
+Eviction is LRU under a capacity bound plus explicit sweeps of
+stale-epoch entries (they can never hit again, only waste memory).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.query.plan import PlanNode
+
+CacheKey = tuple  # (fingerprint, statistics_epoch, topology_epoch)
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One memoized optimizer result.
+
+    Attributes:
+        plan: The chosen join tree.
+        placement: Node assignment for every subtree root.
+        planning_latency: Wall-clock seconds the original optimization
+            took (what the hit saved).
+        stats: The optimizer's free-form stats from the original run.
+    """
+
+    plan: PlanNode
+    placement: dict[PlanNode, int]
+    planning_latency: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+
+class PlanCache:
+    """LRU plan cache keyed on (fingerprint, stats epoch, topology epoch).
+
+    Args:
+        capacity: Maximum entries kept (LRU-evicted beyond it); ``None``
+            means unbounded.
+    """
+
+    def __init__(self, capacity: int | None = 256) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def key(self, fingerprint: str, statistics_epoch: int, topology_epoch: int) -> CacheKey:
+        """Build the composite cache key."""
+        return (fingerprint, statistics_epoch, topology_epoch)
+
+    def get(self, key: CacheKey) -> CachedPlan | None:
+        """Look up a plan; counts a hit or miss and refreshes LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: CachedPlan) -> None:
+        """Insert (or refresh) a plan, evicting LRU entries over capacity."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def demote(self, key: CacheKey) -> None:
+        """Drop one entry (e.g. it failed revalidation against live state).
+
+        The earlier :meth:`get` already counted a hit; the caller should
+        treat the lookup as a miss, so the hit is re-booked accordingly.
+        """
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+        self.hits -= 1
+        self.misses += 1
+
+    def evict_stale(self, statistics_epoch: int, topology_epoch: int) -> int:
+        """Remove every entry not at the current epochs; return the count."""
+        stale = [
+            key
+            for key in self._entries
+            if key[1] != statistics_epoch or key[2] != topology_epoch
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups so far (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

@@ -1,0 +1,56 @@
+"""Canonical query fingerprints.
+
+The lifecycle service memoizes optimizer output per *logical* query, not
+per query object: two submissions asking for the same joins, filters and
+sink should share one plan-cache entry even if they list their sources
+in a different order or carry different query names.  The fingerprint is
+therefore computed from an order-insensitive canonical form of the
+query's relational content (sources, predicates, filters, window, sink)
+and deliberately excludes the name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.query.query import Query
+
+FINGERPRINT_BITS = 128
+"""Width of the hex fingerprint (collision odds are negligible at the
+service's scale; the cache key also carries both epochs)."""
+
+
+def canonical_form(query: Query) -> str:
+    """Deterministic, order-insensitive text rendering of a query.
+
+    Sources, predicates and filters are sorted; predicate endpoints are
+    already normalized by :class:`~repro.query.query.JoinPredicate`.
+    Floats are rendered via ``repr`` so distinct selectivities never
+    collapse.
+    """
+    preds = sorted(
+        (p.left, p.right, repr(p.selectivity), p.left_attr, p.right_attr)
+        for p in query.predicates
+    )
+    filts = sorted(
+        (f.stream, f.predicate, repr(f.selectivity)) for f in query.filters
+    )
+    parts = [
+        "sources=" + ",".join(sorted(query.sources)),
+        "sink=" + str(query.sink),
+        "window=" + repr(query.window),
+        "preds=" + ";".join("|".join(p) for p in preds),
+        "filters=" + ";".join("|".join(f) for f in filts),
+    ]
+    return "\n".join(parts)
+
+
+def query_fingerprint(query: Query) -> str:
+    """Hex fingerprint of the query's canonical form.
+
+    Equal for any two queries that are isomorphic as continuous queries
+    (same join/filter content delivered to the same sink), regardless of
+    source ordering or query name.
+    """
+    digest = hashlib.sha256(canonical_form(query).encode("utf-8"))
+    return digest.hexdigest()[: FINGERPRINT_BITS // 4]

@@ -1,0 +1,595 @@
+"""The query lifecycle service: a long-running control plane.
+
+:class:`StreamQueryService` wraps any :class:`~repro.core.optimizer.Optimizer`
+and manages the full lifecycle of a churning query population -- submit,
+plan, deploy, retire -- against one shared
+:class:`~repro.query.deployment.DeploymentState`,
+:class:`~repro.hierarchy.hierarchy.Hierarchy` and
+:class:`~repro.hierarchy.advertisements.AdvertisementIndex`.  It is the
+entry point that survives query churn: individual queries come and go,
+the service (and the operator/advertisement substrate they share) stays.
+
+Three mechanisms make it cheap under heavy traffic:
+
+* **Plan memoization** -- optimizer output is cached per canonical query
+  fingerprint (:mod:`repro.service.fingerprint`), so resubmitting an
+  identical or source-order-permuted query skips optimization entirely
+  and re-binds the cached plan to the new submission.
+* **Epoch-based invalidation** -- the cache key carries a *statistics
+  epoch* and a *topology epoch*.  The service watches
+  :attr:`repro.core.cost.RateModel.version` and
+  :attr:`repro.network.graph.Network.version` and bumps the matching
+  epoch when either changes (rate re-estimation, link updates, node
+  failure), which atomically invalidates every stale plan.
+* **Admission control** -- a concurrent-deployment budget with a FIFO
+  submission queue (:mod:`repro.service.admission`) applies backpressure
+  instead of failing, and rejects gracefully with a typed decision when
+  the queue itself is bounded.
+
+Service-level metrics (cache hit rate, planning latency, queue depth,
+admitted/rejected counts) are recorded in the engine's
+:class:`~repro.runtime.metrics.MetricsLog` under ``service_*`` names so
+the experiment reporting stack can plot them.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.cost import RateModel
+from repro.core.optimizer import Optimizer
+from repro.hierarchy.advertisements import AdvertisementIndex
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.network.graph import Network
+from repro.query.deployment import Deployment
+from repro.query.query import Query
+from repro.runtime.engine import FlowEngine
+from repro.runtime.metrics import MetricsLog
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatus,
+)
+from repro.service.cache import CachedPlan, PlanCache
+from repro.service.fingerprint import query_fingerprint
+from repro.workload.generator import Workload
+from repro.workload.statistics import EstimatedStatistics
+
+
+@dataclass(frozen=True)
+class SubmitEvent:
+    """One arrival in a workload trace.
+
+    Attributes:
+        time: Tick at which the query is submitted.
+        query: The query itself.
+        lifetime: Ticks the query stays deployed (``None`` = forever).
+    """
+
+    time: float
+    query: Query
+    lifetime: float | None = None
+
+
+@dataclass
+class TickReport:
+    """What one service tick did."""
+
+    time: float
+    deployed: list[str] = field(default_factory=list)
+    retired: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ServiceFailureReport:
+    """Outcome of routing a node failure through the service.
+
+    Attributes:
+        node: The failed node.
+        retired: Queries undeployed because they touched the node.
+        resubmitted: Retired queries re-admitted through the service
+            (deployed or queued, per their decision).
+        lost: Retired queries that could not be resubmitted (their sink
+            or a source stream died with the node).
+        decisions: Admission decisions of the resubmissions.
+    """
+
+    node: int
+    retired: list[str] = field(default_factory=list)
+    resubmitted: list[str] = field(default_factory=list)
+    lost: list[str] = field(default_factory=list)
+    decisions: list[AdmissionDecision] = field(default_factory=list)
+
+
+@dataclass
+class ReplayReport:
+    """Summary of replaying a trace through the service."""
+
+    decisions: list[AdmissionDecision]
+    ticks: int
+    wall_seconds: float
+    summary: dict = field(default_factory=dict)
+
+
+class StreamQueryService:
+    """Control-plane server for a churning multi-query workload.
+
+    Args:
+        optimizer: Any planner satisfying the
+            :class:`~repro.core.optimizer.Optimizer` protocol.
+        network: The physical network (its ``version`` drives the
+            topology epoch).
+        rates: Rate model (its ``version`` drives the statistics epoch).
+        hierarchy: Optional hierarchy; required for
+            :meth:`handle_node_failure`.
+        ads: Optional shared advertisement index, kept in sync with the
+            deployment state after every deploy/retire.
+        admission: Admission controller (default: budget 16, unbounded
+            queue).
+        cache: Plan cache (default: 256-entry LRU).
+        metrics: Metrics log (default: a fresh one, exposed as
+            ``service.metrics``).
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        network: Network,
+        rates: RateModel,
+        hierarchy: Hierarchy | None = None,
+        ads: AdvertisementIndex | None = None,
+        admission: AdmissionController | None = None,
+        cache: PlanCache | None = None,
+        metrics: MetricsLog | None = None,
+    ) -> None:
+        self.optimizer = optimizer
+        self.rates = rates
+        self.hierarchy = hierarchy
+        self.ads = ads
+        self.engine = FlowEngine(network, rates, metrics)
+        if ads is not None:
+            # The hierarchical planners resolve sources through the ads
+            # index; make sure every catalog stream is advertised.
+            known = ads.base_streams()
+            for name, spec in rates.streams.items():
+                if name not in known:
+                    ads.advertise_base(name, spec.source)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.cache = cache if cache is not None else PlanCache()
+        self.statistics_epoch = 0
+        self.topology_epoch = 0
+        self._rates_version = rates.version
+        self._network_version = network.version
+        self._expiry: dict[str, float] = {}
+        self._pending_lifetimes: dict[str, float | None] = {}
+        self.submitted_total = 0
+        self.deployed_total = 0
+        self.retired_total = 0
+        self.plans_computed = 0
+        self.planning_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The physical network the service deploys onto."""
+        return self.engine.network
+
+    @property
+    def metrics(self) -> MetricsLog:
+        """The service's metrics log."""
+        return self.engine.metrics
+
+    @property
+    def clock(self) -> float:
+        """Current service time (ticks)."""
+        return self.engine.clock
+
+    @property
+    def live_queries(self) -> list[str]:
+        """Names of currently deployed queries."""
+        return [d.query.name for d in self.engine.state.deployments]
+
+    def is_live(self, name: str) -> bool:
+        """Whether a query of that name is currently deployed."""
+        return any(d.query.name == name for d in self.engine.state.deployments)
+
+    def total_cost(self) -> float:
+        """Instantaneous communication cost of everything deployed."""
+        return self.engine.total_cost()
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    def bump_statistics_epoch(self) -> int:
+        """Invalidate plans cached under the old statistics; new epoch."""
+        self.statistics_epoch += 1
+        self.cache.evict_stale(self.statistics_epoch, self.topology_epoch)
+        return self.statistics_epoch
+
+    def bump_topology_epoch(self) -> int:
+        """Invalidate plans cached under the old topology; new epoch."""
+        self.topology_epoch += 1
+        self.cache.evict_stale(self.statistics_epoch, self.topology_epoch)
+        return self.topology_epoch
+
+    def ingest_statistics(self, estimated: EstimatedStatistics) -> int:
+        """Apply re-estimated workload statistics.
+
+        Swaps the new stream specs into the shared rate model (bumping
+        its version) and returns the new statistics epoch.  Deployed
+        queries keep their flows priced at deployment-time rates until
+        re-planned; *new* plans see the new rates immediately.
+        """
+        self.rates.update_streams(estimated.streams)
+        self._refresh_epochs()
+        return self.statistics_epoch
+
+    def _refresh_epochs(self) -> None:
+        if self.rates.version != self._rates_version:
+            self._rates_version = self.rates.version
+            self.bump_statistics_epoch()
+        if self.network.version != self._network_version:
+            self._network_version = self.network.version
+            self.engine.refresh_network(self.clock)
+            self.bump_topology_epoch()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        lifetime: float | None = None,
+        time: float | None = None,
+    ) -> AdmissionDecision:
+        """Submit a query; deploy now, queue, or reject.
+
+        Args:
+            query: The query to run.
+            lifetime: Ticks the query should stay deployed once admitted
+                (``None`` = until explicitly retired).
+            time: Service time of the submission (defaults to the
+                current clock).
+
+        Returns:
+            The typed admission decision.
+        """
+        if time is not None:
+            self.engine.clock = time
+        self._refresh_epochs()
+        self.submitted_total += 1
+
+        decision = self._validate(query, lifetime)
+        if decision is None:
+            decision = self.admission.request(query, len(self._live_names()))
+            if decision.status is AdmissionStatus.ADMITTED:
+                self._deploy(query, lifetime)
+            elif decision.status is AdmissionStatus.QUEUED:
+                self._pending_lifetimes[query.name] = lifetime
+        self._record_gauges()
+        return decision
+
+    def _validate(self, query: Query, lifetime: float | None) -> AdmissionDecision | None:
+        if lifetime is not None and lifetime <= 0:
+            return self.admission.reject(query, f"non-positive lifetime {lifetime}")
+        if self.is_live(query.name):
+            return self.admission.reject(
+                query, f"query {query.name!r} is already deployed"
+            )
+        if self.admission.is_queued(query.name):
+            return self.admission.reject(
+                query, f"query {query.name!r} is already queued"
+            )
+        known = self.rates.streams
+        unknown = [s for s in query.sources if s not in known]
+        if unknown:
+            return self.admission.reject(query, f"unknown streams: {unknown}")
+        if query.sink not in self.network.nodes():
+            return self.admission.reject(
+                query, f"sink {query.sink} is not a network node"
+            )
+        return None
+
+    def tick(self, time: float | None = None) -> TickReport:
+        """Advance the service one step.
+
+        Retires queries whose lifetime expired, then drains the
+        submission queue into freed capacity (FIFO, bounded by the
+        controller's per-tick limit), then records the service gauges.
+        """
+        now = float(time) if time is not None else self.engine.clock + 1.0
+        self.engine.clock = now
+        self._refresh_epochs()
+        report = TickReport(time=now)
+
+        for name in [n for n, expiry in self._expiry.items() if expiry <= now]:
+            self._retire_live(name)
+            report.retired.append(name)
+
+        for query in self.admission.drain(len(self._live_names())):
+            lifetime = self._pending_lifetimes.pop(query.name, None)
+            self._deploy(query, lifetime)
+            report.deployed.append(query.name)
+
+        self._record_gauges()
+        return report
+
+    def retire(self, name: str) -> bool:
+        """Retire a query by name (deployed or still queued).
+
+        Returns ``True`` if it was deployed, ``False`` if only queued.
+
+        Raises:
+            KeyError: The name is neither deployed nor queued.
+        """
+        if self.admission.withdraw(name):
+            self._pending_lifetimes.pop(name, None)
+            self._record_gauges()
+            return False
+        if not self.is_live(name):
+            raise KeyError(f"query {name!r} is neither deployed nor queued")
+        self._retire_live(name)
+        self._record_gauges()
+        return True
+
+    def handle_node_failure(self, node: int) -> ServiceFailureReport:
+        """Route a node failure through retire/re-admit.
+
+        Repairs the hierarchy (coordinator backups take over), bumps the
+        topology epoch (cached placements may reference the dead node),
+        retires every query with an operator there, and resubmits the
+        survivors through normal admission -- so a failure burst is
+        subject to the same backpressure as any other load spike.
+
+        Raises:
+            ValueError: The service was built without a hierarchy.
+        """
+        if self.hierarchy is None:
+            raise ValueError("handle_node_failure requires a hierarchy")
+        from repro.runtime.failover import fail_node
+
+        failure = fail_node(self.hierarchy, node, engine=self.engine)
+        report = ServiceFailureReport(node=node)
+        by_name = {d.query.name: d.query for d in self.engine.state.deployments}
+        self.bump_topology_epoch()
+
+        # Undeploy every affected query before the single ads re-sync:
+        # their operators on the dead node must all be gone first, or the
+        # sync would try to advertise views at a node the hierarchy no
+        # longer contains.
+        remaining: dict[str, float | None] = {}
+        for name in failure.affected_queries:
+            expiry = self._expiry.pop(name, None)
+            remaining[name] = None if expiry is None else max(1.0, expiry - self.clock)
+            self.engine.undeploy(name, time=self.clock)
+            self.retired_total += 1
+            report.retired.append(name)
+        if self.ads is not None:
+            self.ads.sync_from_state(self.engine.state)
+
+        alive = self.hierarchy.root.subtree_nodes()
+        for name in failure.affected_queries:
+            query = by_name[name]
+            sources_alive = all(self.rates.source(s) in alive for s in query.sources)
+            if query.sink not in alive or not sources_alive:
+                report.lost.append(name)
+                continue
+            decision = self.submit(query, lifetime=remaining[name])
+            report.decisions.append(decision)
+            if not decision.rejected:
+                report.resubmitted.append(name)
+            else:  # pragma: no cover - bounded-queue configurations only
+                report.lost.append(name)
+        self._record_gauges()
+        return report
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> tuple[Deployment, bool]:
+        """Plan a query through the cache; returns ``(deployment, hit)``.
+
+        A hit re-binds the memoized plan/placement to this query object
+        after revalidating it against the live deployment state (reused
+        views must still exist); a failed revalidation is re-booked as a
+        miss and re-planned.
+        """
+        self._refresh_epochs()
+        fingerprint = query_fingerprint(query)
+        key = self.cache.key(fingerprint, self.statistics_epoch, self.topology_epoch)
+        entry = self.cache.get(key)
+        if entry is not None and not self._revalidate(query, entry):
+            self.cache.demote(key)
+            entry = None
+        if entry is not None:
+            deployment = Deployment(
+                query=query,
+                plan=entry.plan,
+                placement=dict(entry.placement),
+                stats={**entry.stats, "plan_cache": "hit", "fingerprint": fingerprint},
+            )
+            self.metrics.record(self.clock, "service_planning_seconds", 0.0)
+            return deployment, True
+        start = _time.perf_counter()
+        deployment = self.optimizer.plan(query, self.engine.state)
+        elapsed = _time.perf_counter() - start
+        self.plans_computed += 1
+        self.planning_seconds += elapsed
+        deployment.stats = {
+            **deployment.stats,
+            "plan_cache": "miss",
+            "fingerprint": fingerprint,
+        }
+        self.cache.put(
+            key,
+            CachedPlan(
+                plan=deployment.plan,
+                placement=dict(deployment.placement),
+                planning_latency=elapsed,
+                stats=dict(deployment.stats),
+            ),
+        )
+        self.metrics.record(self.clock, "service_planning_seconds", elapsed)
+        return deployment, False
+
+    def _revalidate(self, query: Query, entry: CachedPlan) -> bool:
+        """Whether a cached plan still applies cleanly to live state."""
+        for leaf in entry.plan.leaves():
+            node = entry.placement.get(leaf)
+            if node is None:
+                return False
+            if leaf.is_base_stream:
+                if self.rates.source(leaf.stream) != node:
+                    return False
+            elif self.engine.state.find_reusable(query, leaf.view, node) is None:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        events: Iterable[SubmitEvent],
+        drain: bool = True,
+        max_ticks: int = 100_000,
+    ) -> ReplayReport:
+        """Replay a workload trace through the service.
+
+        Submits each event at its tick (ticking the service through the
+        gaps) and, when ``drain`` is set, keeps ticking afterwards until
+        the submission queue is empty and every finite-lifetime query
+        has retired.
+
+        Returns:
+            A :class:`ReplayReport` with every admission decision and a
+            summary (cache hit rate, queries/second of planning, ...).
+        """
+        ordered = sorted(events, key=lambda e: e.time)
+        decisions: list[AdmissionDecision] = []
+        wall_start = _time.perf_counter()
+        ticks = 0
+        clock = self.clock
+        i = 0
+        while i < len(ordered):
+            clock += 1.0
+            self.tick(clock)
+            ticks += 1
+            while i < len(ordered) and ordered[i].time <= clock:
+                event = ordered[i]
+                decisions.append(
+                    self.submit(event.query, lifetime=event.lifetime)
+                )
+                i += 1
+            if ticks >= max_ticks:  # pragma: no cover - defensive
+                break
+        while (
+            drain
+            and ticks < max_ticks
+            and (self.admission.queue_depth > 0 or self._expiry)
+        ):
+            clock += 1.0
+            self.tick(clock)
+            ticks += 1
+        wall = _time.perf_counter() - wall_start
+        admitted = sum(1 for d in decisions if not d.rejected)
+        report = ReplayReport(
+            decisions=decisions,
+            ticks=ticks,
+            wall_seconds=wall,
+            summary={
+                "submitted": len(decisions),
+                "admitted": admitted,
+                "rejected": sum(1 for d in decisions if d.rejected),
+                "deployed_total": self.deployed_total,
+                "retired_total": self.retired_total,
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "cache_hit_rate": self.cache.hit_rate,
+                "plans_computed": self.plans_computed,
+                "planning_seconds": self.planning_seconds,
+                "queries_per_second": (
+                    self.deployed_total / wall if wall > 0 else float("inf")
+                ),
+                "final_cost": self.total_cost(),
+                "final_live": len(self._live_names()),
+            },
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _live_names(self) -> list[str]:
+        return self.live_queries
+
+    def _deploy(self, query: Query, lifetime: float | None) -> None:
+        deployment, _hit = self.plan(query)
+        self.engine.deploy(deployment, time=self.clock)
+        if self.ads is not None:
+            self.ads.sync_from_state(self.engine.state)
+        if lifetime is not None:
+            self._expiry[query.name] = self.clock + lifetime
+        self.deployed_total += 1
+
+    def _retire_live(self, name: str) -> None:
+        self.engine.undeploy(name, time=self.clock)
+        if self.ads is not None:
+            self.ads.sync_from_state(self.engine.state)
+        self._expiry.pop(name, None)
+        self.retired_total += 1
+
+    def _record_gauges(self) -> None:
+        now = self.clock
+        log = self.metrics
+        log.record(now, "service_queue_depth", float(self.admission.queue_depth))
+        log.record(now, "service_live_queries", float(len(self._live_names())))
+        log.record(now, "service_cache_hit_rate", self.cache.hit_rate)
+        log.record(now, "service_admitted_total", float(self.admission.admitted_total))
+        log.record(now, "service_rejected_total", float(self.admission.rejected_total))
+
+
+def churn_trace(
+    workload: Workload | Sequence[Query],
+    lifetime: float | None = 5.0,
+    arrivals_per_tick: int = 2,
+    repeats: int = 1,
+    start_time: float = 0.0,
+) -> list[SubmitEvent]:
+    """Build a short-lived-query trace from a workload.
+
+    Queries arrive ``arrivals_per_tick`` at a time and live ``lifetime``
+    ticks.  With ``repeats > 1`` the whole sequence is replayed again
+    (fresh names, identical content) -- the canonical plan-cache-friendly
+    churn the service is built for.
+    """
+    if arrivals_per_tick < 1:
+        raise ValueError("arrivals_per_tick must be >= 1")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    queries = list(workload)
+    events: list[SubmitEvent] = []
+    tick = start_time
+    slot = 0
+    for round_no in range(repeats):
+        for query in queries:
+            if slot == 0:
+                tick += 1.0
+            name = query.name if round_no == 0 else f"{query.name}.r{round_no}"
+            resubmission = Query(
+                name=name,
+                sources=query.sources,
+                sink=query.sink,
+                predicates=query.predicates,
+                filters=query.filters,
+                projection=query.projection,
+                allow_cross_products=query.allow_cross_products,
+                window=query.window,
+            )
+            events.append(SubmitEvent(time=tick, query=resubmission, lifetime=lifetime))
+            slot = (slot + 1) % arrivals_per_tick
+    return events

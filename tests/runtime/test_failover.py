@@ -128,3 +128,101 @@ class TestFailNode:
             assert engine.total_cost() == pytest.approx(0.0)
         else:
             assert engine.total_cost() > 0
+
+
+class TestFailureReportShape:
+    def test_defaults_are_empty(self):
+        report = FailureReport(node=7)
+        assert report.coordinator_roles == []
+        assert report.new_coordinators == {}
+        assert report.affected_queries == []
+        assert report.redeployed == []
+        assert report.failed_queries == []
+
+    def test_singleton_cluster_has_no_backup(self, running_system):
+        net, hierarchy, *_ = running_system
+        singles = [c for c in hierarchy.levels[0] if c.size == 1]
+        for cluster in singles:
+            assert backup_coordinator(cluster, net.cost_matrix()) is None
+
+
+class TestServiceRetireReadmit:
+    """The lifecycle service's retire/re-admit path rides on fail_node."""
+
+    @pytest.fixture()
+    def service(self):
+        net = repro.transit_stub_by_size(32, seed=51)
+        hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+        workload = repro.generate_workload(
+            net,
+            repro.WorkloadParams(num_streams=6, num_queries=6, joins_per_query=(1, 3)),
+            seed=52,
+        )
+        rates = workload.rate_model()
+        ads = repro.AdvertisementIndex(hierarchy)
+        optimizer = repro.TopDownOptimizer(hierarchy, rates, ads=ads)
+        service = repro.StreamQueryService(
+            optimizer, net, rates, hierarchy=hierarchy, ads=ads,
+            admission=repro.AdmissionController(budget=16),
+        )
+        for query in workload:
+            assert service.submit(query).admitted
+        return service
+
+    def test_failure_retires_and_readmits(self, service):
+        protected = {spec.source for spec in service.rates.streams.values()}
+        protected |= {d.query.sink for d in service.engine.state.deployments}
+        victim = next(
+            (n for (_, n) in service.engine.state.operators() if n not in protected),
+            None,
+        )
+        if victim is None:
+            pytest.skip("every operator co-located with a source/sink in this seed")
+        before = set(service.live_queries)
+        report = service.handle_node_failure(victim)
+        assert report.retired
+        assert set(report.resubmitted) | set(report.lost) == set(report.retired)
+        assert not report.lost  # victim excluded sources and sinks
+        # re-admitted queries are live again; nothing else was touched
+        assert set(service.live_queries) == before
+        # no surviving operator sits on the failed node
+        assert all(node != victim for (_, node) in service.engine.state.operators())
+        # cached placements from before the failure are unusable now
+        assert service.topology_epoch == 1
+
+    def test_failure_of_sink_marks_query_lost(self, service):
+        sinks = {d.query.name: d.query.sink for d in service.engine.state.deployments}
+        # fail a node that is some query's sink *and* hosts one of its operators
+        victim = None
+        for deployment in service.engine.state.deployments:
+            placements = set(deployment.operator_nodes.values())
+            if deployment.query.sink in placements:
+                victim = deployment.query.sink
+                break
+        if victim is None:
+            pytest.skip("no query has an operator at its own sink in this seed")
+        report = service.handle_node_failure(victim)
+        lost_sinks = {name for name, sink in sinks.items() if sink == victim}
+        assert lost_sinks & set(report.lost) == lost_sinks & set(report.retired)
+
+    def test_readmitted_queries_keep_remaining_lifetime(self, service):
+        # find a live query with an operator on a non-source/sink node,
+        # give it a finite lifetime, then fail that node
+        protected = {spec.source for spec in service.rates.streams.values()}
+        protected |= {d.query.sink for d in service.engine.state.deployments}
+        name = victim = None
+        for deployment in service.engine.state.deployments:
+            candidate = next(
+                (n for n in deployment.operator_nodes.values() if n not in protected),
+                None,
+            )
+            if candidate is not None:
+                name, victim = deployment.query.name, candidate
+                break
+        if victim is None:
+            pytest.skip("every operator co-located with a source/sink in this seed")
+        service._expiry[name] = service.clock + 10.0
+        report = service.handle_node_failure(victim)
+        assert name in report.resubmitted
+        assert name in service._expiry
+        assert service._expiry[name] <= service.clock + 10.0

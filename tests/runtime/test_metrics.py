@@ -1,0 +1,54 @@
+"""MetricsLog: per-metric indexing semantics."""
+
+from repro.runtime.metrics import MetricsLog, Sample
+
+
+class TestMetricsLog:
+    def test_series_in_record_order(self):
+        log = MetricsLog()
+        log.record(0.0, "cost", 10.0)
+        log.record(1.0, "ops", 2.0)
+        log.record(2.0, "cost", 12.0)
+        assert log.series("cost") == [(0.0, 10.0), (2.0, 12.0)]
+        assert log.series("ops") == [(1.0, 2.0)]
+        assert log.series("missing") == []
+
+    def test_last(self):
+        log = MetricsLog()
+        assert log.last("cost") is None
+        log.record(0.0, "cost", 10.0)
+        log.record(5.0, "cost", 11.0)
+        assert log.last("cost") == 11.0
+
+    def test_len_counts_all_samples(self):
+        log = MetricsLog()
+        for i in range(5):
+            log.record(float(i), "a", 1.0)
+            log.record(float(i), "b", 2.0)
+        assert len(log) == 10
+        assert log.metrics() == {"a", "b"}
+
+    def test_samples_reconstructs_records(self):
+        log = MetricsLog()
+        log.record(1.5, "cost", 3.0)
+        assert log.samples("cost") == [Sample(time=1.5, metric="cost", value=3.0)]
+
+    def test_series_is_a_copy(self):
+        log = MetricsLog()
+        log.record(0.0, "cost", 1.0)
+        series = log.series("cost")
+        series.append((9.9, 9.9))
+        assert log.series("cost") == [(0.0, 1.0)]
+
+    def test_indexed_lookup_is_cheap_under_many_metrics(self):
+        # last() must not scan unrelated metrics' samples
+        log = MetricsLog()
+        for i in range(10_000):
+            log.record(float(i), f"noise_{i % 50}", float(i))
+        log.record(0.0, "needle", 42.0)
+        import time
+
+        start = time.perf_counter()
+        for _ in range(1_000):
+            assert log.last("needle") == 42.0
+        assert time.perf_counter() - start < 0.5

@@ -1,0 +1,99 @@
+"""Admission controller: budget, queueing, backpressure, rejection."""
+
+import pytest
+
+from repro.query.query import JoinPredicate, Query
+from repro.service.admission import AdmissionController, AdmissionStatus
+
+
+def q(name):
+    return Query(name, ["A", "B"], sink=0, predicates=[JoinPredicate("A", "B", 0.1)])
+
+
+class TestBudget:
+    def test_admits_under_budget(self):
+        ctl = AdmissionController(budget=2)
+        decision = ctl.request(q("a"), live_count=1)
+        assert decision.status is AdmissionStatus.ADMITTED
+        assert decision.admitted
+
+    def test_queues_at_budget(self):
+        ctl = AdmissionController(budget=2)
+        decision = ctl.request(q("a"), live_count=2)
+        assert decision.status is AdmissionStatus.QUEUED
+        assert decision.queue_position == 1
+        assert ctl.queue_depth == 1
+
+    def test_no_overtaking_while_queue_nonempty(self):
+        ctl = AdmissionController(budget=2)
+        ctl.request(q("a"), live_count=2)
+        # budget freed, but "a" is ahead in line
+        decision = ctl.request(q("b"), live_count=1)
+        assert decision.status is AdmissionStatus.QUEUED
+        assert decision.queue_position == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionController(budget=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(max_per_tick=0)
+
+
+class TestQueueBound:
+    def test_rejects_past_bound(self):
+        ctl = AdmissionController(budget=1, max_queue=1)
+        ctl.request(q("a"), live_count=1)
+        decision = ctl.request(q("b"), live_count=1)
+        assert decision.rejected
+        assert "queue full" in decision.reason
+        assert ctl.rejected_total == 1
+
+    def test_zero_queue_rejects_at_budget(self):
+        ctl = AdmissionController(budget=1, max_queue=0)
+        assert ctl.request(q("a"), live_count=0).admitted
+        assert ctl.request(q("b"), live_count=1).rejected
+
+
+class TestDrain:
+    def test_fifo_and_capacity_bounded(self):
+        ctl = AdmissionController(budget=3)
+        for name in ("a", "b", "c"):
+            ctl.request(q(name), live_count=3)
+        admitted = ctl.drain(live_count=1)  # two slots free
+        assert [query.name for query in admitted] == ["a", "b"]
+        assert ctl.queue_depth == 1
+
+    def test_per_tick_limit(self):
+        ctl = AdmissionController(budget=10, max_per_tick=1)
+        for name in ("a", "b"):
+            ctl.request(q(name), live_count=10)
+        assert [query.name for query in ctl.drain(live_count=0)] == ["a"]
+
+    def test_drain_counts_admissions(self):
+        ctl = AdmissionController(budget=2)
+        ctl.request(q("a"), live_count=2)
+        ctl.drain(live_count=0)
+        assert ctl.admitted_total == 1
+
+    def test_drain_with_no_capacity(self):
+        ctl = AdmissionController(budget=2)
+        ctl.request(q("a"), live_count=2)
+        assert ctl.drain(live_count=2) == []
+
+
+class TestWithdraw:
+    def test_withdraw_queued(self):
+        ctl = AdmissionController(budget=1)
+        ctl.request(q("a"), live_count=1)
+        assert ctl.withdraw("a")
+        assert ctl.queue_depth == 0
+        assert not ctl.withdraw("a")
+
+    def test_is_queued(self):
+        ctl = AdmissionController(budget=1)
+        ctl.request(q("a"), live_count=1)
+        assert ctl.is_queued("a")
+        assert not ctl.is_queued("b")
+        assert ctl.queued_names() == ["a"]

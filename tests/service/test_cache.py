@@ -1,0 +1,79 @@
+"""Plan cache: LRU bounds, hit accounting, epoch eviction."""
+
+from repro.query.plan import Join, Leaf
+from repro.service.cache import CachedPlan, PlanCache
+
+
+def entry(node_id=0):
+    a, b = Leaf.of("A"), Leaf.of("B")
+    plan = Join(a, b)
+    return CachedPlan(plan=plan, placement={a: 0, b: 1, plan: node_id})
+
+
+class TestLookups:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        key = cache.key("fp", 0, 0)
+        assert cache.get(key) is None
+        cache.put(key, entry())
+        assert cache.get(key) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_epoch_is_part_of_the_key(self):
+        cache = PlanCache()
+        cache.put(cache.key("fp", 0, 0), entry())
+        assert cache.get(cache.key("fp", 1, 0)) is None
+        assert cache.get(cache.key("fp", 0, 1)) is None
+        assert cache.get(cache.key("fp", 0, 0)) is not None
+
+    def test_hit_rate_zero_before_lookups(self):
+        assert PlanCache().hit_rate == 0.0
+
+
+class TestEviction:
+    def test_lru_capacity(self):
+        cache = PlanCache(capacity=2)
+        k1, k2, k3 = (cache.key(f"fp{i}", 0, 0) for i in range(3))
+        cache.put(k1, entry())
+        cache.put(k2, entry())
+        cache.get(k1)  # refresh k1; k2 becomes LRU
+        cache.put(k3, entry())
+        assert k1 in cache
+        assert k2 not in cache
+        assert k3 in cache
+        assert cache.evictions == 1
+
+    def test_unbounded(self):
+        cache = PlanCache(capacity=None)
+        for i in range(1000):
+            cache.put(cache.key(f"fp{i}", 0, 0), entry())
+        assert len(cache) == 1000
+        assert cache.evictions == 0
+
+    def test_evict_stale_epochs(self):
+        cache = PlanCache()
+        cache.put(cache.key("fp1", 0, 0), entry())
+        cache.put(cache.key("fp2", 0, 0), entry())
+        cache.put(cache.key("fp3", 1, 0), entry())
+        removed = cache.evict_stale(1, 0)
+        assert removed == 2
+        assert len(cache) == 1
+        assert cache.invalidations == 2
+
+    def test_demote_rebooks_hit_as_miss(self):
+        cache = PlanCache()
+        key = cache.key("fp", 0, 0)
+        cache.put(key, entry())
+        assert cache.get(key) is not None
+        cache.demote(key)
+        assert cache.hits == 0
+        assert cache.misses == 1
+        assert key not in cache
+
+    def test_clear(self):
+        cache = PlanCache()
+        cache.put(cache.key("fp", 0, 0), entry())
+        cache.clear()
+        assert len(cache) == 0

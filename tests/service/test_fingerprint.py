@@ -1,0 +1,65 @@
+"""Canonical query fingerprints."""
+
+import pytest
+
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import Filter
+from repro.service.fingerprint import canonical_form, query_fingerprint
+
+
+def make_query(name="q", sources=("A", "B", "C"), sink=3, sel=0.01, window=0.5,
+               filters=()):
+    ordered = sorted(sources)
+    preds = [
+        JoinPredicate(a, b, sel) for a, b in zip(ordered[:-1], ordered[1:])
+    ]
+    return Query(
+        name, sources, sink=sink, predicates=preds, filters=filters, window=window
+    )
+
+
+class TestFingerprint:
+    def test_name_insensitive(self):
+        assert query_fingerprint(make_query("q1")) == query_fingerprint(make_query("q2"))
+
+    def test_source_order_insensitive(self):
+        a = make_query(sources=("A", "B", "C"))
+        b = make_query(sources=("C", "A", "B"))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_sink_sensitive(self):
+        assert query_fingerprint(make_query(sink=3)) != query_fingerprint(make_query(sink=4))
+
+    def test_selectivity_sensitive(self):
+        assert query_fingerprint(make_query(sel=0.01)) != query_fingerprint(make_query(sel=0.02))
+
+    def test_window_sensitive(self):
+        assert query_fingerprint(make_query(window=0.5)) != query_fingerprint(
+            make_query(window=1.0)
+        )
+
+    def test_filter_sensitive(self):
+        filtered = make_query(filters=(Filter("A", "x > 0", 0.5),))
+        assert query_fingerprint(filtered) != query_fingerprint(make_query())
+
+    def test_filter_order_insensitive(self):
+        f1 = Filter("A", "x > 0", 0.5)
+        f2 = Filter("B", "y < 9", 0.25)
+        a = make_query(filters=(f1, f2))
+        b = make_query(filters=(f2, f1))
+        assert query_fingerprint(a) == query_fingerprint(b)
+
+    def test_extra_source_changes_fingerprint(self):
+        assert query_fingerprint(make_query(sources=("A", "B"))) != query_fingerprint(
+            make_query(sources=("A", "B", "C"))
+        )
+
+    def test_canonical_form_is_deterministic_text(self):
+        text = canonical_form(make_query())
+        assert "sources=A,B,C" in text
+        assert text == canonical_form(make_query(sources=("C", "B", "A")))
+
+    def test_fingerprint_is_hex(self):
+        fp = query_fingerprint(make_query())
+        assert len(fp) == 32
+        int(fp, 16)  # parses as hex

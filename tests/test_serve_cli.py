@@ -1,0 +1,63 @@
+"""End-to-end smoke tests for the ``serve`` subcommand."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main, serve_main
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.budget == 8
+        assert args.repeats == 2
+        assert args.func.__name__ == "_cmd_serve"
+
+    def test_serve_generated_workload(self, capsys):
+        rc = main([
+            "serve",
+            "--nodes", "24", "--streams", "5", "--queries", "6",
+            "--budget", "4", "--repeats", "2", "--lifetime", "3",
+            "--max-cs", "4", "--seed", "9",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query lifecycle service" in out
+        assert "plan cache" in out
+        assert "hit rate" in out
+        assert "deployments/s" in out
+
+    def test_serve_replays_a_trace_file(self, tmp_path, capsys):
+        net = repro.transit_stub_by_size(16, seed=4)
+        workload = repro.generate_workload(
+            net,
+            repro.WorkloadParams(num_streams=4, num_queries=4, joins_per_query=(1, 2)),
+            seed=5,
+        )
+        trace_file = tmp_path / "trace.json"
+        trace_file.write_text(repro.workload_to_json(workload))
+
+        rc = main([
+            "serve", "--trace", str(trace_file),
+            "--budget", "2", "--repeats", "2", "--lifetime", "2",
+            "--max-cs", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2x 4 queries" in out
+        assert "rejected 0" in out
+
+    def test_serve_main_console_entry(self, capsys):
+        rc = serve_main([
+            "--nodes", "16", "--streams", "4", "--queries", "3",
+            "--budget", "4", "--repeats", "1", "--max-cs", "4", "--seed", "2",
+        ])
+        assert rc == 0
+        assert "query lifecycle service" in capsys.readouterr().out
+
+    def test_bottom_up_algorithm(self, capsys):
+        rc = main([
+            "serve", "--nodes", "16", "--streams", "4", "--queries", "3",
+            "--algorithm", "bottom-up", "--max-cs", "4", "--seed", "2",
+        ])
+        assert rc == 0
