@@ -61,13 +61,16 @@ def test_service_churn_throughput(benchmark):
     s = report.summary
     qps = s["deployed_total"] / cached_wall
     control_qps = control_report.summary["deployed_total"] / control_wall
+    queue_stats = service.metrics.series_stats("service_queue_depth")
+    latency = service.metrics.series_stats("service_planning_seconds")
     lines = [
         "query lifecycle service under short-lived-query churn",
         "",
         f"  trace: {s['submitted']} submissions "
         f"({repeats}x {len(env.workload)} queries, lifetime 4 ticks, 3/tick)",
         f"  admitted {s['admitted']}  rejected {s['rejected']}  "
-        f"peak queue {max(v for _, v in service.metrics.series('service_queue_depth')):.0f}",
+        f"peak queue {queue_stats['max']:.0f} (mean {queue_stats['mean']:.1f}, "
+        f"p95 {queue_stats['p95']:.1f})",
         "",
         f"  {'':18} {'deploys/s':>12} {'plans':>8} {'hit rate':>9}",
         f"  {'plan cache on':18} {qps:>12,.0f} {s['plans_computed']:>8} "
@@ -78,6 +81,8 @@ def test_service_churn_throughput(benchmark):
         "",
         f"  planning time amortized: {s['planning_seconds'] * 1000:,.1f} ms vs "
         f"{control_report.summary['planning_seconds'] * 1000:,.1f} ms without caching",
+        f"  per-plan latency: p50 {latency['p50'] * 1000:.2f} ms, "
+        f"p95 {latency['p95'] * 1000:.2f} ms, max {latency['max'] * 1000:.2f} ms",
     ]
     save_text("service_churn", "\n".join(lines))
 

@@ -69,11 +69,26 @@ from repro.workload import (
     airline_ois_scenario,
     generate_workload,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_TRACER,
+    PlanExplanation,
+    Span,
+    Tracer,
+    build_explanation,
+)
 from repro.serialization import (
+    explanation_from_json,
+    explanation_to_json,
     network_from_json,
     network_to_json,
     query_from_json,
     query_to_json,
+    trace_from_json,
+    trace_to_json,
     workload_from_json,
     workload_to_json,
 )
@@ -159,6 +174,20 @@ __all__ = [
     "SubmitEvent",
     "churn_trace",
     "query_fingerprint",
+    # observability
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "PlanExplanation",
+    "build_explanation",
+    "trace_to_json",
+    "trace_from_json",
+    "explanation_to_json",
+    "explanation_from_json",
     "network_to_json",
     "network_from_json",
     "query_to_json",

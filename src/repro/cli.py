@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro bounds -k 4 -n 1000 --max-cs 10
     repro plan "SELECT A.x FROM A, B WHERE A.k = B.k" --nodes 32 --sink 5
     repro serve --queries 40 --budget 8 --repeats 2   # lifecycle service
+    repro trace --query 0 --algorithm top-down        # span tree + explanation
+    repro metrics --format prom                       # typed metric exposition
 
 Everything the CLI does is also available as a library call; the CLI is
 a thin veneer for kicking the tires.
@@ -199,10 +201,116 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"  epochs: statistics {service.statistics_epoch}, "
           f"topology {service.topology_epoch}")
     print(f"  final: {s['final_live']} live queries, cost {s['final_cost']:,.1f}/unit-time")
-    depth = service.metrics.series("service_queue_depth")
-    if depth:
-        peak = max(v for _, v in depth)
-        print(f"  queue: peak depth {peak:.0f}")
+    try:
+        depth = service.metrics.series_stats("service_queue_depth")
+        print(f"  queue: peak depth {depth['max']:.0f} (p95 {depth['p95']:.1f})")
+        lat = service.metrics.series_stats("service_planning_seconds")
+        print(f"  planning latency: p50 {lat['p50'] * 1000:.2f} ms, "
+              f"p95 {lat['p95'] * 1000:.2f} ms, max {lat['max'] * 1000:.2f} ms")
+    except KeyError:  # pragma: no cover - nothing ever submitted
+        pass
+    print("  final gauges:")
+    for name in service.registry.names():
+        instrument = service.registry.get(name)
+        if instrument.kind != "gauge":
+            continue
+        value = instrument.value
+        print(f"    {name} = {0.0 if value is None else value:g}")
+    return 0
+
+
+def _generated_workload(args):
+    """Synthetic (network, workload) pair shared by trace/metrics."""
+    import repro
+
+    network = repro.transit_stub_by_size(args.nodes, seed=args.seed or 0)
+    workload = repro.generate_workload(
+        network,
+        repro.WorkloadParams(
+            num_streams=args.streams,
+            num_queries=args.queries,
+            joins_per_query=(2, min(4, args.streams - 1)),
+        ),
+        seed=args.seed or 0,
+    )
+    return network, workload
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    import repro
+    from repro.obs import Tracer
+    from repro.serialization import explanation_to_json, trace_to_json
+
+    network, workload = _generated_workload(args)
+    queries = list(workload)
+    if not 0 <= args.query < len(queries):
+        print(f"error: --query must be in [0, {len(queries) - 1}]", file=sys.stderr)
+        return 2
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    for stream, spec in rates.streams.items():
+        ads.advertise_base(stream, spec.source)
+    tracer = Tracer()
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads, tracer=tracer
+    )
+    query = queries[args.query]
+    deployment = optimizer.plan(query, None, explain=True)
+    root = tracer.last_root
+    assert root is not None and deployment.explanation is not None
+    if args.json:
+        doc = {
+            "trace": json.loads(trace_to_json(root)),
+            "explanation": json.loads(explanation_to_json(deployment.explanation)),
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+    print(f"optimizer trace: {args.algorithm} planning {query.name!r} "
+          f"on {len(network.nodes())} nodes")
+    print()
+    print(root.render())
+    print()
+    print(deployment.explanation.render())
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    import repro
+    from repro.service import (
+        AdmissionController,
+        PlanCache,
+        StreamQueryService,
+        churn_trace,
+    )
+
+    network, workload = _generated_workload(args)
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads
+    )
+    service = StreamQueryService(
+        optimizer,
+        network,
+        rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=AdmissionController(budget=args.budget),
+        cache=PlanCache(),
+    )
+    service.replay(
+        churn_trace(workload, lifetime=args.lifetime, repeats=args.repeats)
+    )
+    if args.format == "json":
+        print(json.dumps(service.registry.snapshot(), indent=2))
+    else:
+        print(service.registry.exposition(), end="")
     return 0
 
 
@@ -271,6 +379,43 @@ def build_parser() -> argparse.ArgumentParser:
                                 "in-network", "plan-then-deploy"])
     serve.add_argument("--seed", type=int, default=None)
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one optimization: span tree + exportable plan explanation",
+    )
+    trace.add_argument("--query", type=int, default=0,
+                       help="index of the generated query to trace")
+    trace.add_argument("--nodes", type=int, default=32)
+    trace.add_argument("--streams", type=int, default=8)
+    trace.add_argument("--queries", type=int, default=8)
+    trace.add_argument("--max-cs", type=int, default=8)
+    trace.add_argument("--algorithm", default="top-down",
+                       choices=["top-down", "bottom-up", "optimal"],
+                       help="planners with span tracing + explain support")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the trace and explanation as JSON")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="replay a churn trace and export the typed metric registry",
+    )
+    metrics.add_argument("--format", default="prom", choices=["prom", "json"],
+                         help="Prometheus text exposition or JSON snapshot")
+    metrics.add_argument("--nodes", type=int, default=32)
+    metrics.add_argument("--streams", type=int, default=8)
+    metrics.add_argument("--queries", type=int, default=12)
+    metrics.add_argument("--budget", type=int, default=8)
+    metrics.add_argument("--lifetime", type=float, default=5.0)
+    metrics.add_argument("--repeats", type=int, default=2)
+    metrics.add_argument("--max-cs", type=int, default=8)
+    metrics.add_argument("--algorithm", default="top-down",
+                         choices=["top-down", "bottom-up", "optimal", "relaxation",
+                                  "in-network", "plan-then-deploy"])
+    metrics.add_argument("--seed", type=int, default=None)
+    metrics.set_defaults(func=_cmd_metrics)
     return parser
 
 

@@ -40,6 +40,8 @@ from repro.core.placement import nominal_assignments, optimal_tree_placement
 from repro.core.reuse import input_partitions, substitute_views
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Cluster, Hierarchy
+from repro.obs.explain import build_explanation
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.deployment import Deployment, DeploymentState
 from repro.query.plan import Join, Leaf, PlanNode
 from repro.query.query import Query
@@ -69,6 +71,8 @@ class BottomUpOptimizer:
             omitted).
         reuse: Consider advertised derived views while planning.
         connected_only: Skip cross-product join trees when possible.
+        tracer: Span tracer (see :mod:`repro.obs.tracer`); the no-op
+            :data:`~repro.obs.tracer.NULL_TRACER` when omitted.
     """
 
     name = "bottom-up"
@@ -80,20 +84,53 @@ class BottomUpOptimizer:
         ads: AdvertisementIndex | None = None,
         reuse: bool = True,
         connected_only: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.rates = rates
         self.reuse = reuse
         self.connected_only = connected_only
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if ads is None:
             ads = AdvertisementIndex(hierarchy)
             for name, spec in rates.streams.items():
                 ads.advertise_base(name, spec.source)
         self.ads = ads
+        if self.tracer.enabled:
+            self.ads.tracer = self.tracer
 
     # ------------------------------------------------------------------
-    def plan(self, query: Query, state: DeploymentState | None = None) -> Deployment:
-        """Plan and place ``query`` by climbing from its sink."""
+    def plan(
+        self,
+        query: Query,
+        state: DeploymentState | None = None,
+        explain: bool = False,
+    ) -> Deployment:
+        """Plan and place ``query`` by climbing from its sink.
+
+        With ``explain=True`` the climb is traced (on a one-shot tracer
+        if none was configured) and the returned deployment carries a
+        :class:`~repro.obs.explain.PlanExplanation`.
+        """
+        tracer = self.tracer
+        if explain and not tracer.enabled:
+            tracer = Tracer()
+        with tracer.span(
+            "optimize", algorithm=self.name, query=query.name,
+            sources=len(query.sources),
+        ) as root:
+            deployment = self._plan(query, state, tracer)
+        if tracer.enabled:
+            deployment.stats["trace"] = root.to_dict()
+            if explain:
+                deployment.explanation = build_explanation(
+                    deployment, root, self.hierarchy.network.cost_matrix(), self.rates
+                )
+        return deployment
+
+    def _plan(
+        self, query: Query, state: DeploymentState | None, tracer: Tracer
+    ) -> Deployment:
         if state is not None and self.reuse:
             self.ads.sync_from_state(state)
         costs = self.hierarchy.network.cost_matrix()
@@ -154,18 +191,29 @@ class BottomUpOptimizer:
             local = [
                 inp for inp in remaining if all(p in subtree for p in inp.positions)
             ]
-            if len(local) == len(remaining):
-                # Everything is local: plan the final join and stop.
-                final = self._plan_component(
-                    cluster, candidates, remaining, query.sink, query, costs, stats, built
-                )
+            with tracer.span(
+                "climb", level=cluster.level, coordinator=cluster.coordinator,
+                local_inputs=len(local), pending_inputs=len(remaining),
+                candidates=len(candidates),
+            ) as climb:
+                if len(local) == len(remaining):
+                    # Everything is local: plan the final join and stop.
+                    final = self._plan_component(
+                        cluster, candidates, remaining, query.sink, query, costs,
+                        stats, built, tracer,
+                    )
+                    trace_entry["plans"] = stats["plans_examined"] - plans_before
+                    climb.tag(outcome="final")
+                    break
+                if len(local) >= 2:
+                    remaining = self._deploy_local_views(
+                        cluster, candidates, local, remaining, query, costs,
+                        stats, built, tracer,
+                    )
+                    climb.tag(outcome="partial-deploy")
+                else:
+                    climb.tag(outcome="forward")
                 trace_entry["plans"] = stats["plans_examined"] - plans_before
-                break
-            if len(local) >= 2:
-                remaining = self._deploy_local_views(
-                    cluster, candidates, local, remaining, query, costs, stats, built
-                )
-            trace_entry["plans"] = stats["plans_examined"] - plans_before
             cluster = cluster.parent
         if final is None:  # pragma: no cover - root covers everything
             raise RuntimeError("query climbed past the hierarchy root")
@@ -185,17 +233,20 @@ class BottomUpOptimizer:
         costs: np.ndarray,
         stats: dict,
         built: dict,
+        tracer: Tracer = NULL_TRACER,
     ) -> list[_Input]:
         """Join every join-connected group of local inputs; return the
         updated pending-input list."""
         components = self._components(local, query)
+        tracer.incr("join_components", len(components))
         new_remaining = [inp for inp in remaining if inp not in local]
         for component in components:
             if len(component) == 1:
                 new_remaining.append(component[0])
                 continue
             tree, placement = self._plan_component(
-                cluster, candidates, component, cluster.coordinator, query, costs, stats, built
+                cluster, candidates, component, cluster.coordinator, query, costs,
+                stats, built, tracer,
             )
             root_node = placement[tree]
             view = tree.sources
@@ -215,56 +266,77 @@ class BottomUpOptimizer:
         costs: np.ndarray,
         stats: dict,
         built: dict,
+        tracer: Tracer = NULL_TRACER,
     ) -> tuple[PlanNode, dict[PlanNode, int]]:
         """Exhaustively plan the join over ``inputs`` on ``candidates``.
 
         Returns the *concrete* (tree, placement) with built sub-views
         substituted in, ready to compose upward.
         """
-        if len(candidates) > self.hierarchy.max_cs:
-            # Honor the per-partition search budget of Theorem 4: keep
-            # the max_cs chain nodes most relevant to this component.
-            positions = [p for inp in inputs for p in inp.positions]
+        with tracer.span(
+            "component", level=cluster.level, coordinator=cluster.coordinator,
+            inputs=len(inputs),
+        ) as span:
+            if len(candidates) > self.hierarchy.max_cs:
+                # Honor the per-partition search budget of Theorem 4: keep
+                # the max_cs chain nodes most relevant to this component.
+                positions = [p for inp in inputs for p in inp.positions]
 
-            def relevance(node: int) -> float:
-                return float(
-                    sum(costs[p, node] for p in positions) + costs[node, target]
-                )
+                def relevance(node: int) -> float:
+                    return float(
+                        sum(costs[p, node] for p in positions) + costs[node, target]
+                    )
 
-            candidates = sorted(candidates, key=relevance)[: self.hierarchy.max_cs]
-        best: tuple[float, PlanNode, dict[PlanNode, int]] | None = None
-        for leaf_inputs in self._candidate_leaf_sets(cluster, inputs, query):
-            positions = {inp.view: inp.positions for inp in leaf_inputs}
-            if len(leaf_inputs) == 1:
-                only = leaf_inputs[0]
-                leaf = Leaf(only.view)
-                rate = self.rates.flow_rates(query, leaf)[leaf]
-                cand_cost = min(
-                    (rate * float(costs[p, target]), p) for p in only.positions
-                )
-                if best is None or cand_cost[0] < best[0] - 1e-12:
-                    best = (cand_cost[0], leaf, {leaf: cand_cost[1]})
-                stats["trees_examined"] += 1
-                stats["plans_examined"] += 1
-                continue
-            trees = all_join_trees([inp.view for inp in leaf_inputs])
-            if self.connected_only:
-                connected = [t for t in trees if tree_is_connected(query, t)]
-                if connected:
-                    trees = connected
-            for tree in trees:
-                rates = self.rates.flow_rates(query, tree)
-                leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
-                result = optimal_tree_placement(
-                    tree, candidates, costs, leaf_positions, rates, sink=target
-                )
-                stats["plans_examined"] += nominal_assignments(tree, len(candidates))
-                stats["trees_examined"] += 1
-                if best is None or result.cost < best[0] - 1e-12:
-                    best = (result.cost, tree, result.placement)
-        if best is None:  # pragma: no cover - identity partition always exists
-            raise RuntimeError("no feasible component plan")
-        cost, tree, placement = best
+                span.incr("candidates_dropped", len(candidates) - self.hierarchy.max_cs)
+                candidates = sorted(candidates, key=relevance)[: self.hierarchy.max_cs]
+            span.tag(candidates=len(candidates))
+            best: tuple[float, PlanNode, dict[PlanNode, int]] | None = None
+            leaf_sets = self._candidate_leaf_sets(cluster, inputs, query)
+            span.incr("leaf_set_alternatives", len(leaf_sets))
+            if len(leaf_sets) > 1:
+                span.incr("reuse_groupings", len(leaf_sets) - 1)
+            for leaf_inputs in leaf_sets:
+                positions = {inp.view: inp.positions for inp in leaf_inputs}
+                if len(leaf_inputs) == 1:
+                    only = leaf_inputs[0]
+                    leaf = Leaf(only.view)
+                    rate = self.rates.flow_rates(query, leaf)[leaf]
+                    cand_cost = min(
+                        (rate * float(costs[p, target]), p) for p in only.positions
+                    )
+                    if best is None or cand_cost[0] < best[0] - 1e-12:
+                        best = (cand_cost[0], leaf, {leaf: cand_cost[1]})
+                    stats["trees_examined"] += 1
+                    stats["plans_examined"] += 1
+                    span.incr("trees_enumerated")
+                    span.incr("plans_examined")
+                    continue
+                trees = all_join_trees([inp.view for inp in leaf_inputs])
+                span.incr("trees_enumerated", len(trees))
+                if self.connected_only:
+                    connected = [t for t in trees if tree_is_connected(query, t)]
+                    if connected:
+                        span.incr("pruned_cross_trees", len(trees) - len(connected))
+                        trees = connected
+                for tree in trees:
+                    rates = self.rates.flow_rates(query, tree)
+                    leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
+                    result = optimal_tree_placement(
+                        tree, candidates, costs, leaf_positions, rates,
+                        sink=target, tracer=tracer,
+                    )
+                    stats["plans_examined"] += nominal_assignments(tree, len(candidates))
+                    stats["trees_examined"] += 1
+                    span.incr("plans_examined", nominal_assignments(tree, len(candidates)))
+                    if best is None or result.cost < best[0] - 1e-12:
+                        best = (result.cost, tree, result.placement)
+            if best is None:  # pragma: no cover - identity partition always exists
+                raise RuntimeError("no feasible component plan")
+            cost, tree, placement = best
+            span.tag(chosen=tree.pretty(), est_cost=cost)
+            reused = sum(1 for l in tree.leaves() if not l.is_base_stream)
+            if reused:
+                span.incr("reuse_leaves_chosen", reused)
         stats["_final_cost"] = cost
         # Record where this visit's *new* operators land (protocol sim),
         # before substitution merges in older ones.

@@ -22,6 +22,8 @@ from repro.core.cost import RateModel
 from repro.core.enumeration import connected_join_trees
 from repro.core.placement import brute_force_tree_placement, nominal_assignments
 from repro.network.graph import Network
+from repro.obs.explain import build_explanation
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.deployment import Deployment, DeploymentState
 from repro.query.plan import Join, Leaf, PlanNode
 from repro.query.query import Query
@@ -57,6 +59,7 @@ class OptimalPlanner:
         rates: RateModel,
         reuse: bool = True,
         containment: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         self.network = network
         self.rates = rates
@@ -65,13 +68,41 @@ class OptimalPlanner:
         # views with a *subset* of the needed filters, shipping at the
         # provider's larger rate (see repro.core.containment).
         self.containment = containment
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
-    def plan(self, query: Query, state: DeploymentState | None = None) -> Deployment:
+    def plan(
+        self,
+        query: Query,
+        state: DeploymentState | None = None,
+        explain: bool = False,
+    ) -> Deployment:
         """Compute the minimum-marginal-cost deployment for ``query``.
 
         When ``state`` is given and reuse is enabled, already-deployed
         views with matching signatures are free to reuse at their nodes.
+        With ``explain=True`` the DP is traced (on a one-shot tracer if
+        none was configured) and the deployment carries a
+        :class:`~repro.obs.explain.PlanExplanation`.
         """
+        tracer = self.tracer
+        if explain and not tracer.enabled:
+            tracer = Tracer()
+        with tracer.span(
+            "optimize", algorithm=self.name, query=query.name,
+            sources=len(query.sources),
+        ) as root:
+            deployment = self._plan(query, state, tracer)
+        if tracer.enabled:
+            deployment.stats["trace"] = root.to_dict()
+            if explain:
+                deployment.explanation = build_explanation(
+                    deployment, root, self.network.cost_matrix(), self.rates
+                )
+        return deployment
+
+    def _plan(
+        self, query: Query, state: DeploymentState | None, tracer: Tracer
+    ) -> Deployment:
         costs = self.network.cost_matrix()
         n = costs.shape[0]
         sources = frozenset(query.sources)
@@ -118,6 +149,10 @@ class OptimalPlanner:
                             rate = self.rates.rate(sig) * inflation
                             providers[sig.sources] = {n: rate for n in nodes}
 
+        tracer.incr("reuse_provider_views", len(providers))
+        tracer.incr(
+            "reuse_provider_nodes", sum(len(nodes) for nodes in providers.values())
+        )
         subsets = _connected_subsets(query)
         order = sorted(subsets, key=len)
 
@@ -161,6 +196,8 @@ class OptimalPlanner:
                 subset_splits.append((left, right))
             splits[subset] = subset_splits
             split_of[subset] = choice
+            tracer.incr("dp_subsets")
+            tracer.incr("splits_considered", len(subset_splits))
 
             # Compute option: produce somewhere, ship at the view's rate.
             arrival = produce[:, None] + rate * costs
@@ -177,6 +214,7 @@ class OptimalPlanner:
                 ridx = reuse_arrival.argmin(axis=0)
                 rbest = reuse_arrival[ridx, np.arange(n)]
                 use = rbest < best_avail
+                tracer.incr("reuse_shipping_wins", int(np.count_nonzero(use)))
                 best_avail = np.where(use, rbest, best_avail)
                 best_reuse = np.where(use, pnodes[ridx], best_reuse)
             avail[subset] = best_avail
@@ -214,8 +252,14 @@ class OptimalPlanner:
             placement[join] = node
             return join
 
-        plan = acquire(sources, query.sink)
+        with tracer.span("extract") as espan:
+            plan = acquire(sources, query.sink)
+            espan.incr("operators", plan.num_joins)
+            espan.incr(
+                "reuse_leaves", sum(1 for l in plan.leaves() if not l.is_base_stream)
+            )
         stats["cost_estimate"] = float(avail[sources][query.sink])
+        tracer.tag(est_cost=stats["cost_estimate"])
         return Deployment(query=query, plan=plan, placement=placement, stats=stats)
 
 
@@ -227,14 +271,22 @@ class BruteForceSearch:
 
     name = "brute-force"
 
-    def __init__(self, network: Network, rates: RateModel, connected_only: bool = True) -> None:
+    def __init__(
+        self,
+        network: Network,
+        rates: RateModel,
+        connected_only: bool = True,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.network = network
         self.rates = rates
         self.connected_only = connected_only
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def plan(self, query: Query, state: DeploymentState | None = None) -> Deployment:
         """Search every plan/assignment combination; return the cheapest."""
         del state  # brute force does not model reuse
+        tracer = self.tracer
         costs = self.network.cost_matrix()
         nodes = self.network.nodes()
         views = [frozenset((s,)) for s in query.sources]
@@ -247,18 +299,23 @@ class BruteForceSearch:
         best_cost = float("inf")
         best: tuple[PlanNode, dict[PlanNode, int]] | None = None
         examined = 0
-        for tree in trees:
-            rates = self.rates.flow_rates(query, tree)
-            leaf_positions = {
-                leaf: [self.rates.source(leaf.stream)] for leaf in tree.leaves()
-            }
-            examined += nominal_assignments(tree, len(nodes))
-            result = brute_force_tree_placement(
-                tree, nodes, costs, leaf_positions, rates, sink=query.sink
-            )
-            if result.cost < best_cost - 1e-12:
-                best_cost = result.cost
-                best = (tree, result.placement)
+        with tracer.span(
+            "optimize", algorithm=self.name, query=query.name
+        ) as span:
+            for tree in trees:
+                rates = self.rates.flow_rates(query, tree)
+                leaf_positions = {
+                    leaf: [self.rates.source(leaf.stream)] for leaf in tree.leaves()
+                }
+                examined += nominal_assignments(tree, len(nodes))
+                span.incr("trees_enumerated")
+                span.incr("plans_examined", nominal_assignments(tree, len(nodes)))
+                result = brute_force_tree_placement(
+                    tree, nodes, costs, leaf_positions, rates, sink=query.sink
+                )
+                if result.cost < best_cost - 1e-12:
+                    best_cost = result.cost
+                    best = (tree, result.placement)
         assert best is not None
         tree, placement = best
         return Deployment(

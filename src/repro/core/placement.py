@@ -52,6 +52,7 @@ def optimal_tree_placement(
     leaf_positions: Mapping[Leaf, Sequence[int]],
     rates: Mapping[PlanNode, float],
     sink: int | None,
+    tracer=None,
 ) -> PlacementResult:
     """Optimally assign ``tree``'s operators to ``candidates``.
 
@@ -68,6 +69,10 @@ def optimal_tree_placement(
         sink: Node the root output is delivered to, or ``None`` to skip
             delivery cost (the root output then simply materializes at
             the cheapest producing node).
+        tracer: Optional :class:`repro.obs.tracer.Tracer`; placement is
+            the innermost hot loop, so rather than opening a span per
+            call it increments counters on the caller's current span
+            (``placements``, ``placement_dp_states``).
 
     Returns:
         The optimal :class:`PlacementResult`.
@@ -75,6 +80,9 @@ def optimal_tree_placement(
     cand = np.asarray(list(candidates), dtype=np.intp)
     if cand.size == 0:
         raise ValueError("need at least one candidate node")
+    if tracer is not None:
+        tracer.incr("placements")
+        tracer.incr("placement_dp_states", tree.num_joins * cand.size)
 
     # dp[node] over that node's *position set*: cost of producing the
     # subtree's output at the position (excluding shipment to parent).

@@ -73,6 +73,7 @@ def resolve_reuse_leaves(
     placement: dict[PlanNode, int],
     view_nodes: Mapping[ViewSignature, set[int]],
     costs: np.ndarray,
+    tracer=None,
 ) -> None:
     """Pin every reused-view leaf to its cheapest advertisement node.
 
@@ -82,22 +83,32 @@ def resolve_reuse_leaves(
     node minimizing shipping cost to the leaf's consumer (the parent
     join's node, or the query sink for a fully-reused plan).  Mutates
     ``placement`` in place.
+
+    ``tracer`` (a :class:`repro.obs.tracer.Tracer`) gets one
+    ``resolve_reuse`` span counting the pinned leaves and the provider
+    nodes considered.
     """
-    consumers: dict[PlanNode, int] = {plan: query.sink}
-    for join in plan.joins():
-        consumers[join.left] = placement[join]
-        consumers[join.right] = placement[join]
-    for leaf in plan.leaves():
-        if leaf.is_base_stream:
-            continue
-        sig = query.view_signature(leaf.view)
-        nodes = view_nodes.get(sig)
-        if not nodes:
-            raise ValueError(
-                f"plan for {query.name!r} reuses {sig.label()} but it is not advertised"
-            )
-        consumer = consumers[leaf]
-        placement[leaf] = min(nodes, key=lambda n: costs[n, consumer])
+    from repro.obs.tracer import NULL_TRACER
+
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("resolve_reuse") as span:
+        consumers: dict[PlanNode, int] = {plan: query.sink}
+        for join in plan.joins():
+            consumers[join.left] = placement[join]
+            consumers[join.right] = placement[join]
+        for leaf in plan.leaves():
+            if leaf.is_base_stream:
+                continue
+            sig = query.view_signature(leaf.view)
+            nodes = view_nodes.get(sig)
+            if not nodes:
+                raise ValueError(
+                    f"plan for {query.name!r} reuses {sig.label()} but it is not advertised"
+                )
+            consumer = consumers[leaf]
+            placement[leaf] = min(nodes, key=lambda n: costs[n, consumer])
+            span.incr("reuse_leaves_pinned")
+            span.incr("provider_nodes_considered", len(nodes))
 
 
 def substitute_views(

@@ -28,6 +28,8 @@ from repro.core.placement import nominal_assignments, optimal_tree_placement
 from repro.core.reuse import resolve_reuse_leaves, substitute_views
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Cluster, Hierarchy
+from repro.obs.explain import build_explanation
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.deployment import Deployment, DeploymentState
 from repro.query.plan import Join, Leaf, PlanNode
 from repro.query.query import Query
@@ -73,6 +75,8 @@ class TopDownOptimizer:
             advertised at its source, when omitted).
         reuse: Consider advertised derived views while planning.
         connected_only: Skip cross-product join trees when possible.
+        tracer: Span tracer (see :mod:`repro.obs.tracer`); the no-op
+            :data:`~repro.obs.tracer.NULL_TRACER` when omitted.
     """
 
     name = "top-down"
@@ -84,24 +88,55 @@ class TopDownOptimizer:
         ads: AdvertisementIndex | None = None,
         reuse: bool = True,
         connected_only: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.rates = rates
         self.reuse = reuse
         self.connected_only = connected_only
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if ads is None:
             ads = AdvertisementIndex(hierarchy)
             for name, spec in rates.streams.items():
                 ads.advertise_base(name, spec.source)
         self.ads = ads
+        if self.tracer.enabled:
+            self.ads.tracer = self.tracer
 
     # ------------------------------------------------------------------
-    def plan(self, query: Query, state: DeploymentState | None = None) -> Deployment:
+    def plan(
+        self,
+        query: Query,
+        state: DeploymentState | None = None,
+        explain: bool = False,
+    ) -> Deployment:
         """Plan and place ``query``; returns the chosen deployment.
 
         When ``state`` is given (and reuse is on), its deployed views are
-        folded into the advertisement index first.
+        folded into the advertisement index first.  With ``explain=True``
+        the optimization is traced (on a one-shot tracer if none was
+        configured) and the deployment carries a
+        :class:`~repro.obs.explain.PlanExplanation`.
         """
+        tracer = self.tracer
+        if explain and not tracer.enabled:
+            tracer = Tracer()
+        with tracer.span(
+            "optimize", algorithm=self.name, query=query.name,
+            sources=len(query.sources),
+        ) as root:
+            deployment = self._plan(query, state, tracer)
+        if tracer.enabled:
+            deployment.stats["trace"] = root.to_dict()
+            if explain:
+                deployment.explanation = build_explanation(
+                    deployment, root, self.hierarchy.network.cost_matrix(), self.rates
+                )
+        return deployment
+
+    def _plan(
+        self, query: Query, state: DeploymentState | None, tracer: Tracer
+    ) -> Deployment:
         if state is not None and self.reuse:
             self.ads.sync_from_state(state)
         costs = self.hierarchy.network.cost_matrix()
@@ -146,12 +181,15 @@ class TopDownOptimizer:
                 )
             inputs.append(_Input(view=frozenset((stream,)), kind="base"))
         task = self._plan_task(
-            root, tuple(inputs), query.sink, query, costs, stats, parent_task=-1
+            root, tuple(inputs), query.sink, query, costs, stats, tracer,
+            parent_task=-1,
         )
 
         tree, placement = task.tree, dict(task.placement)
         self._pin_base_leaves(tree, placement)
-        resolve_reuse_leaves(query, tree, placement, self.ads.views(), costs)
+        resolve_reuse_leaves(
+            query, tree, placement, self.ads.views(), costs, tracer=tracer
+        )
         stats["est_cost"] = task.est_cost
         return Deployment(query=query, plan=tree, placement=placement, stats=stats)
 
@@ -164,6 +202,7 @@ class TopDownOptimizer:
         query: Query,
         costs: np.ndarray,
         stats: dict,
+        tracer: Tracer,
         parent_task: int = -1,
     ) -> _TaskPlan:
         """Plan the join over ``inputs`` within ``cluster``, recursively."""
@@ -182,50 +221,67 @@ class TopDownOptimizer:
         members = cluster.members
         target_pos = self._resolve_target(cluster, out_target)
 
-        best: tuple[float, PlanNode, dict[PlanNode, int], dict[PlanNode, _Input]] | None = None
-        for leaf_inputs in self._candidate_leaf_sets(cluster, inputs, query):
-            positions = {}
-            by_view: dict[frozenset[str], _Input] = {}
-            feasible = True
-            for inp in leaf_inputs:
-                pos = self._resolve_positions(cluster, inp, query)
-                if not pos:
-                    feasible = False
-                    break
-                positions[inp.view] = pos
-                by_view[inp.view] = inp
-            if not feasible:
-                continue
-            trees = all_join_trees([inp.view for inp in leaf_inputs])
-            if self.connected_only:
-                connected = [t for t in trees if tree_is_connected(query, t)]
-                if connected:
-                    trees = connected
-            for tree in trees:
-                rates = self.rates.flow_rates(query, tree)
-                leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
-                result = optimal_tree_placement(
-                    tree, members, costs, leaf_positions, rates, sink=target_pos
-                )
-                stats["plans_examined"] += nominal_assignments(tree, len(members))
-                stats["trees_examined"] += 1
-                if best is None or result.cost < best[0] - 1e-12:
-                    leaf_meta = {leaf: by_view[leaf.view] for leaf in tree.leaves()}
-                    best = (result.cost, tree, result.placement, leaf_meta)
-        if best is None:
-            raise RuntimeError(f"no feasible plan for task over {[i.view for i in inputs]}")
-        est_cost, tree, placement, leaf_meta = best
-        trace_entry["plans"] = stats["plans_examined"] - plans_before
+        with tracer.span(
+            "task", level=cluster.level, coordinator=cluster.coordinator,
+            inputs=len(inputs),
+        ) as span:
+            best: tuple[float, PlanNode, dict[PlanNode, int], dict[PlanNode, _Input]] | None = None
+            leaf_sets = self._candidate_leaf_sets(cluster, inputs, query)
+            span.incr("leaf_set_alternatives", len(leaf_sets))
+            if len(leaf_sets) > 1:
+                span.incr("reuse_groupings", len(leaf_sets) - 1)
+            for leaf_inputs in leaf_sets:
+                positions = {}
+                by_view: dict[frozenset[str], _Input] = {}
+                feasible = True
+                for inp in leaf_inputs:
+                    pos = self._resolve_positions(cluster, inp, query)
+                    if not pos:
+                        feasible = False
+                        break
+                    positions[inp.view] = pos
+                    by_view[inp.view] = inp
+                if not feasible:
+                    span.incr("infeasible_leaf_sets")
+                    continue
+                trees = all_join_trees([inp.view for inp in leaf_inputs])
+                span.incr("trees_enumerated", len(trees))
+                if self.connected_only:
+                    connected = [t for t in trees if tree_is_connected(query, t)]
+                    if connected:
+                        span.incr("pruned_cross_trees", len(trees) - len(connected))
+                        trees = connected
+                for tree in trees:
+                    rates = self.rates.flow_rates(query, tree)
+                    leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
+                    result = optimal_tree_placement(
+                        tree, members, costs, leaf_positions, rates,
+                        sink=target_pos, tracer=tracer,
+                    )
+                    stats["plans_examined"] += nominal_assignments(tree, len(members))
+                    stats["trees_examined"] += 1
+                    span.incr("plans_examined", nominal_assignments(tree, len(members)))
+                    if best is None or result.cost < best[0] - 1e-12:
+                        leaf_meta = {leaf: by_view[leaf.view] for leaf in tree.leaves()}
+                        best = (result.cost, tree, result.placement, leaf_meta)
+            if best is None:
+                raise RuntimeError(f"no feasible plan for task over {[i.view for i in inputs]}")
+            est_cost, tree, placement, leaf_meta = best
+            trace_entry["plans"] = stats["plans_examined"] - plans_before
+            span.tag(chosen=tree.pretty(), est_cost=est_cost)
+            reused = sum(1 for meta in leaf_meta.values() if meta.kind == "reuse")
+            if reused:
+                span.incr("reuse_leaves_chosen", reused)
 
-        if cluster.level == 1 or isinstance(tree, Leaf):
-            trace_entry["deploy_nodes"] = sorted(
-                {placement[j] for j in tree.joins()}
+            if cluster.level == 1 or isinstance(tree, Leaf):
+                trace_entry["deploy_nodes"] = sorted(
+                    {placement[j] for j in tree.joins()}
+                )
+                return _TaskPlan(tree=tree, placement=dict(placement), est_cost=est_cost)
+            return self._recurse_fragments(
+                cluster, tree, placement, leaf_meta, out_target, query, costs, stats,
+                est_cost, task_idx, tracer,
             )
-            return _TaskPlan(tree=tree, placement=dict(placement), est_cost=est_cost)
-        return self._recurse_fragments(
-            cluster, tree, placement, leaf_meta, out_target, query, costs, stats,
-            est_cost, task_idx,
-        )
 
     # ------------------------------------------------------------------
     def _recurse_fragments(
@@ -240,6 +296,7 @@ class TopDownOptimizer:
         stats: dict,
         est_cost: float,
         task_idx: int,
+        tracer: Tracer,
     ) -> _TaskPlan:
         """Split the chosen tree into per-member fragments and recurse."""
         # Fragment id: the member a join was assigned to, with contiguous
@@ -298,7 +355,7 @@ class TopDownOptimizer:
             child_cluster = cluster.children[member]
             fragment_plans[frag_id] = self._plan_task(
                 child_cluster, tuple(frag_inputs), frag_target, query, costs, stats,
-                parent_task=task_idx,
+                tracer, parent_task=task_idx,
             )
 
         # Stitch: substitute fragment outputs into their consumers.

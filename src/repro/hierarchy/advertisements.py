@@ -13,6 +13,7 @@ which the paper observes is negligible next to the data streams).
 from __future__ import annotations
 
 from repro.hierarchy.hierarchy import Cluster, Hierarchy
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.query import ViewSignature
 
 
@@ -21,10 +22,16 @@ class AdvertisementIndex:
 
     Args:
         hierarchy: The hierarchy advertisements propagate through.
+        tracer: Span tracer; advertisement publishes/withdrawals are
+            counted on the active span and every
+            :meth:`sync_from_state` reconciliation gets its own
+            ``ads_sync`` span.  Optimizers and the lifecycle service
+            install their tracer here automatically when tracing is on.
     """
 
-    def __init__(self, hierarchy: Hierarchy) -> None:
+    def __init__(self, hierarchy: Hierarchy, tracer: Tracer | None = None) -> None:
         self.hierarchy = hierarchy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._base_nodes: dict[str, int] = {}
         self._view_nodes: dict[ViewSignature, set[int]] = {}
         self.messages_sent = 0
@@ -54,6 +61,8 @@ class AdvertisementIndex:
         if node not in nodes:
             nodes.add(node)
             self.messages_sent += self.hierarchy.height
+            self.tracer.incr("ads_views_published")
+            self.tracer.incr("ads_messages", self.hierarchy.height)
 
     def withdraw_view(self, signature: ViewSignature, node: int) -> None:
         """Remove a derived-stream advertisement (operator undeployed)."""
@@ -64,6 +73,8 @@ class AdvertisementIndex:
         if not nodes:
             del self._view_nodes[signature]
         self.messages_sent += self.hierarchy.height
+        self.tracer.incr("ads_views_withdrawn")
+        self.tracer.incr("ads_messages", self.hierarchy.height)
 
     def sync_from_state(self, state) -> None:
         """Reconcile derived-stream ads with a :class:`DeploymentState`.
@@ -72,15 +83,16 @@ class AdvertisementIndex:
         longer exist (undeployed queries), so planners never chase stale
         advertisements.
         """
-        live = state.advertised_views()
-        for signature, nodes in live.items():
-            for node in nodes:
-                self.advertise_view(signature, node)
-        for signature, nodes in list(self._view_nodes.items()):
-            live_nodes = live.get(signature, set())
-            for node in list(nodes):
-                if node not in live_nodes:
-                    self.withdraw_view(signature, node)
+        with self.tracer.span("ads_sync"):
+            live = state.advertised_views()
+            for signature, nodes in live.items():
+                for node in nodes:
+                    self.advertise_view(signature, node)
+            for signature, nodes in list(self._view_nodes.items()):
+                live_nodes = live.get(signature, set())
+                for node in list(nodes):
+                    if node not in live_nodes:
+                        self.withdraw_view(signature, node)
 
     # ------------------------------------------------------------------
     # Lookup

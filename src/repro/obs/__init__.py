@@ -1,0 +1,42 @@
+"""Observability: span tracing, typed metrics, plan explanations.
+
+Three layers, usable independently:
+
+* :mod:`repro.obs.tracer` -- nestable, taggable spans with a zero-cost
+  no-op default (:data:`NULL_TRACER`); threaded through the optimizers,
+  the advertisement index and the lifecycle service.
+* :mod:`repro.obs.metrics` -- a typed :class:`MetricRegistry`
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) over the
+  runtime's :class:`~repro.runtime.metrics.MetricsLog`, with Prometheus
+  text exposition and JSON snapshots.
+* :mod:`repro.obs.explain` -- :class:`PlanExplanation` reports built
+  from a deployment plus its span trace (``explain=True`` on the
+  optimizer entry points, ``repro trace`` on the CLI).
+
+See ``docs/observability.md`` for the span model and metric naming
+scheme.
+"""
+
+from repro.obs.explain import PlanExplanation, build_explanation
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    series_summary,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "series_summary",
+    "PlanExplanation",
+    "build_explanation",
+]

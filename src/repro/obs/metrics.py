@@ -1,0 +1,365 @@
+"""Typed metrics: counters, gauges and histograms over a MetricsLog.
+
+:class:`MetricRegistry` supersedes scattering raw
+:meth:`repro.runtime.metrics.MetricsLog.record` calls around the service
+and runtime: call sites declare a *typed* instrument once (a
+:class:`Counter` that can only go up, a :class:`Gauge` that tracks a
+level, a :class:`Histogram` with bucketed percentiles) and update it.
+Every update still feeds the registry's backing
+:class:`~repro.runtime.metrics.MetricsLog` under the instrument's series
+name, so the existing time-series consumers (experiment reporting,
+``service.metrics.series(...)``) keep working unchanged.
+
+On top of the log the registry adds two export formats:
+
+* :meth:`MetricRegistry.exposition` -- Prometheus text exposition
+  (``# TYPE`` / ``# HELP`` comments, ``_bucket{le=...}`` /
+  ``_sum`` / ``_count`` histogram triples);
+* :meth:`MetricRegistry.snapshot` -- a JSON-ready dict with the typed
+  state (counter totals, gauge values, histogram percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+if TYPE_CHECKING:  # circular at runtime: runtime.metrics lazy-imports us
+    from repro.runtime.metrics import MetricsLog
+
+#: Default latency-ish histogram buckets (seconds), Prometheus-style.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _Instrument:
+    """Shared plumbing: identity, help text, backing log series."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str, log: MetricsLog, series: str) -> None:
+        self.name = name
+        self.help = help
+        self._log = log
+        #: Name the instrument records under in the backing MetricsLog
+        #: (defaults to the metric name; used to keep legacy series
+        #: names stable while exposing a scheme-conforming metric name).
+        self.series_name = series
+
+    def _record(self, time: float, value: float) -> None:
+        self._log.record(time, self.series_name, value)
+
+
+class Counter(_Instrument):
+    """A monotonically non-decreasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, log: MetricsLog, series: str) -> None:
+        super().__init__(name, help, log, series)
+        self.total = 0.0
+
+    def inc(self, amount: float = 1.0, time: float = 0.0) -> None:
+        """Add ``amount`` (>= 0) to the total; logs the new total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.total += amount
+        self._record(time, self.total)
+
+    def sync_total(self, total: float, time: float = 0.0) -> None:
+        """Adopt an externally maintained monotonic total.
+
+        For call sites where another object is the source of truth
+        (e.g. the admission controller's ``admitted_total``): enforces
+        monotonicity, then records like :meth:`inc`.
+        """
+        if total < self.total:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease ({self.total} -> {total})"
+            )
+        self.total = float(total)
+        self._record(time, self.total)
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        return self.total
+
+
+class Gauge(_Instrument):
+    """An instantaneous level that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, log: MetricsLog, series: str) -> None:
+        super().__init__(name, help, log, series)
+        self._value: float | None = None
+
+    def set(self, value: float, time: float = 0.0) -> None:
+        """Set the gauge and log the new value."""
+        self._value = float(value)
+        self._record(time, self._value)
+
+    def inc(self, amount: float = 1.0, time: float = 0.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.set((self._value or 0.0) + amount, time)
+
+    def dec(self, amount: float = 1.0, time: float = 0.0) -> None:
+        """Adjust the gauge down by ``amount``."""
+        self.inc(-amount, time)
+
+    @property
+    def value(self) -> float | None:
+        """The last value set, or ``None`` if never set."""
+        return self._value
+
+
+class Histogram(_Instrument):
+    """A distribution summarized by cumulative buckets.
+
+    Buckets are upper bounds (``le``) as in Prometheus; an implicit
+    ``+Inf`` bucket always exists.  Percentiles are estimated by linear
+    interpolation inside the bucket containing the requested rank,
+    clamped to the observed min/max -- exact enough for operator-facing
+    p50/p95 readouts without retaining every sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        log: MetricsLog,
+        series: str,
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, log, series)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float, time: float = 0.0) -> None:
+        """Record one observation; logs the raw value."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self._record(time, value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else max(0.0, self.min)
+            hi = self.bounds[i] if i < len(self.bounds) else self.max
+            if cumulative + bucket_count >= rank:
+                within = (rank - cumulative) / bucket_count
+                estimate = lo + within * (hi - lo)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - rank <= count always lands above
+
+    def summary(self) -> dict[str, float]:
+        """min/mean/p50/p95/max summary of the distribution."""
+        return {
+            "count": float(self.count),
+            "min": self.min if self.count else math.nan,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "max": self.max if self.count else math.nan,
+        }
+
+
+class MetricRegistry:
+    """Named, typed instruments over one shared :class:`MetricsLog`.
+
+    Instruments are get-or-create: asking for the same name with the
+    same kind returns the existing instrument; a kind mismatch raises.
+
+    Args:
+        log: Backing time-series log (a fresh one when omitted),
+            exposed as :attr:`log`.
+    """
+
+    def __init__(self, log: MetricsLog | None = None) -> None:
+        if log is None:
+            from repro.runtime.metrics import MetricsLog
+
+            log = MetricsLog()
+        self.log = log
+        self._instruments: dict[str, _Instrument] = {}
+
+    # -- declaration --------------------------------------------------
+    def counter(self, name: str, help: str = "", series: str | None = None) -> Counter:
+        """Get or create the :class:`Counter` called ``name``."""
+        return self._declare(Counter, name, help, series)
+
+    def gauge(self, name: str, help: str = "", series: str | None = None) -> Gauge:
+        """Get or create the :class:`Gauge` called ``name``."""
+        return self._declare(Gauge, name, help, series)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        series: str | None = None,
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` called ``name``."""
+        existing = self._instruments.get(name)
+        if existing is None:
+            instrument = Histogram(name, help, self.log, series or name, buckets)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(existing, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a {existing.kind}, not a histogram"
+            )
+        return existing
+
+    def _declare(self, cls: type, name: str, help: str, series: str | None):
+        existing = self._instruments.get(name)
+        if existing is None:
+            instrument = cls(name, help, self.log, series or name)
+            self._instruments[name] = instrument
+            return instrument
+        if type(existing) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {existing.kind}, not a {cls.kind}"
+            )
+        return existing
+
+    # -- lookup -------------------------------------------------------
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> _Instrument | None:
+        """The instrument called ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    # -- export -------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state of every instrument."""
+        out: dict[str, Any] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                entry: dict[str, Any] = {
+                    "type": instrument.kind,
+                    **instrument.summary(),
+                    "sum": instrument.sum,
+                    "buckets": {
+                        _fmt_bound(b): c
+                        for b, c in zip(
+                            (*instrument.bounds, math.inf), instrument.bucket_counts
+                        )
+                    },
+                }
+                # NaN is not valid JSON; empty histograms export nulls.
+                entry = {
+                    k: (None if isinstance(v, float) and math.isnan(v) else v)
+                    for k, v in entry.items()
+                }
+            else:
+                entry = {"type": instrument.kind, "value": instrument.value}
+            if instrument.help:
+                entry["help"] = instrument.help
+            out[name] = entry
+        return out
+
+    def exposition(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        lines: list[str] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    (*instrument.bounds, math.inf), instrument.bucket_counts
+                ):
+                    cumulative += count
+                    lines.append(
+                        f'{name}_bucket{{le="{_fmt_bound(bound)}"}} {cumulative}'
+                    )
+                lines.append(f"{name}_sum {_fmt_value(instrument.sum)}")
+                lines.append(f"{name}_count {instrument.count}")
+            else:
+                value = instrument.value
+                lines.append(f"{name} {_fmt_value(0.0 if value is None else value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_bound(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else f"{bound:g}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def series_summary(points: Sequence[tuple[float, float]] | Mapping) -> dict[str, float]:
+    """Exact min/mean/p50/p95/max over raw ``(time, value)`` samples.
+
+    The exact-sample counterpart of :meth:`Histogram.summary`, shared by
+    :meth:`repro.runtime.metrics.MetricsLog.series_stats` and ad-hoc
+    consumers that kept a full series.
+    """
+    values = sorted(v for _, v in points)
+    if not values:
+        return {
+            "count": 0.0, "min": math.nan, "mean": math.nan,
+            "p50": math.nan, "p95": math.nan, "max": math.nan,
+        }
+
+    def quantile(q: float) -> float:
+        # linear interpolation between closest ranks
+        pos = q * (len(values) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return values[lo]
+        return values[lo] + (pos - lo) * (values[hi] - values[lo])
+
+    return {
+        "count": float(len(values)),
+        "min": values[0],
+        "mean": sum(values) / len(values),
+        "p50": quantile(0.50),
+        "p95": quantile(0.95),
+        "max": values[-1],
+    }

@@ -1,0 +1,247 @@
+"""Span-based tracing for the optimizer and the lifecycle service.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects -- one span
+per unit of work (an optimization, one hierarchy level's planning task,
+one bottom-up climb step, ...).  Spans carry free-form *tags* (set
+once, descriptive) and additive *counters* (candidate plans examined,
+trees pruned, cache hits), and are timed with a monotonic clock.
+
+The API is context-manager based and nestable::
+
+    tracer = Tracer()
+    with tracer.span("optimize", algorithm="top-down") as root:
+        with tracer.span("task", level=3) as task:
+            task.incr("plans_examined", 120)
+    print(root.render())
+
+Tracing must never change what the traced code computes, and it must
+cost nothing when off: :data:`NULL_TRACER` (the default everywhere)
+returns one shared no-op span from every call, allocates nothing, and
+records nothing.  Code under trace therefore never checks a flag -- it
+just calls ``tracer.span(...)`` / ``span.incr(...)`` unconditionally.
+
+Span trees serialize to plain dicts (:meth:`Span.to_dict` /
+:meth:`Span.from_dict`); :mod:`repro.serialization` wraps them in the
+usual tagged-JSON envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One timed, taggable unit of work in a trace tree."""
+
+    __slots__ = ("name", "tags", "counters", "children", "start", "end", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        tags: dict[str, Any] | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.name = name
+        self.tags: dict[str, Any] = dict(tags) if tags else {}
+        self.counters: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.start: float | None = None
+        self.end: float | None = None
+        self._tracer = tracer
+
+    # -- context manager ----------------------------------------------
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is None:
+            raise RuntimeError("span was not created by a live tracer")
+        parent = tracer._stack[-1] if tracer._stack else None
+        (parent.children if parent is not None else tracer.roots).append(self)
+        tracer._stack.append(self)
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.end = self._tracer._clock()  # type: ignore[union-attr]
+        self._tracer._stack.pop()  # type: ignore[union-attr]
+
+    # -- annotation ---------------------------------------------------
+    def tag(self, **tags: Any) -> "Span":
+        """Set descriptive tags on the span (last write wins)."""
+        self.tags.update(tags)
+        return self
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Add to one of the span's additive counters."""
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds the span covered (0.0 while still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """The span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """All spans named ``name`` in this subtree (pre-order)."""
+        return [s for s in self.walk() if s.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of one counter over the span and every descendant."""
+        return sum(s.counters.get(counter, 0) for s in self.walk())
+
+    # -- serialization ------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-ready) form of the subtree."""
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "counters": dict(self.counters),
+            "duration": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Span":
+        """Rebuild a (data-only) span tree from :meth:`to_dict` output."""
+        span = cls(doc["name"], doc.get("tags"))
+        span.counters = {k: v for k, v in doc.get("counters", {}).items()}
+        span.start = 0.0
+        span.end = float(doc.get("duration", 0.0))
+        span.children = [cls.from_dict(c) for c in doc.get("children", [])]
+        return span
+
+    # -- rendering ----------------------------------------------------
+    def render(self, max_depth: int | None = None) -> str:
+        """Indented text tree of the span and its descendants."""
+        lines: list[str] = []
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:g}"
+            return str(value)
+
+        def walk(span: Span, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            parts = [span.name]
+            parts += [f"{k}={fmt(v)}" for k, v in span.tags.items()]
+            parts += [f"{k}={fmt(v)}" for k, v in sorted(span.counters.items())]
+            parts.append(f"[{span.duration * 1000:.2f} ms]")
+            lines.append("  " * depth + " ".join(parts))
+            for child in span.children:
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, tags={self.tags}, counters={self.counters})"
+
+
+class Tracer:
+    """Collects span trees; the enabled implementation.
+
+    Args:
+        clock: Monotonic time source (seconds); ``time.perf_counter``
+            by default, injectable for deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._stack: list[Span] = []
+        self.roots: list[Span] = []
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """A new span; attach/nest it by entering its context manager."""
+        return Span(name, tags, tracer=self)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        """Add to a counter on the current span (no-op when none open)."""
+        if self._stack:
+            self._stack[-1].incr(key, amount)
+
+    def tag(self, **tags: Any) -> None:
+        """Tag the current span (no-op when none open)."""
+        if self._stack:
+            self._stack[-1].tag(**tags)
+
+    @property
+    def last_root(self) -> Span | None:
+        """The most recently finished (or opened) top-level span."""
+        return self.roots[-1] if self.roots else None
+
+    def clear(self) -> None:
+        """Drop every collected span (open spans stay on the stack)."""
+        self.roots = []
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op, nothing is kept.
+
+    ``span()`` hands back one module-level singleton span whose methods
+    all do nothing, so tracing call sites cost a couple of attribute
+    lookups and no allocation when tracing is off.
+    """
+
+    enabled = False
+    __slots__ = ()
+    roots: tuple = ()
+    current = None
+    last_root = None
+
+    def span(self, name: str, **tags: Any) -> "_NullSpan":
+        return NULL_SPAN
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+class _NullSpan:
+    """The no-op span all :class:`NullTracer` calls share."""
+
+    __slots__ = ()
+    name = ""
+    tags: dict = {}
+    counters: dict = {}
+    children: tuple = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        pass
+
+
+#: Shared no-op span returned by every :class:`NullTracer` call.
+NULL_SPAN = _NullSpan()
+
+#: The default tracer everywhere: tracing off, zero cost, no state.
+NULL_TRACER = NullTracer()

@@ -75,12 +75,16 @@ class Deployment:
             the reused operator.
         stats: Free-form metadata recorded by the optimizer that produced
             the deployment (plans examined, levels traversed, ...).
+        explanation: A :class:`repro.obs.explain.PlanExplanation` when
+            the optimizer was asked to explain itself (``explain=True``
+            on its ``plan`` entry point); ``None`` otherwise.
     """
 
     query: Query
     plan: PlanNode
     placement: dict[PlanNode, int]
     stats: dict = field(default_factory=dict)
+    explanation: object | None = None
 
     def __post_init__(self) -> None:
         for node in self.plan.subtrees():

@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.cost import RateModel
 from repro.network.graph import Network
 from repro.network.routing import path_links
+from repro.obs.metrics import MetricRegistry
 from repro.query.deployment import Deployment, DeploymentState
 from repro.runtime.metrics import MetricsLog
 
@@ -50,6 +51,10 @@ class FlowEngine:
         rates: Rate model over the stream catalog.
         metrics: Optional metrics log; the engine records the total cost
             after every deploy/undeploy/cost-change event.
+        registry: Optional typed :class:`MetricRegistry`.  When omitted
+            one is created over ``metrics``; when given and ``metrics``
+            is not, the registry's backing log becomes the engine's log.
+            Passing both with different logs is an error.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class FlowEngine:
         network: Network,
         rates: RateModel,
         metrics: MetricsLog | None = None,
+        registry: MetricRegistry | None = None,
     ) -> None:
         self.network = network
         self.rates = rates
@@ -66,7 +72,24 @@ class FlowEngine:
             rates.source,
             reuse_inflation=rates.reuse_rate_inflation,
         )
-        self.metrics = metrics if metrics is not None else MetricsLog()
+        if registry is not None and metrics is not None and registry.log is not metrics:
+            raise ValueError("registry.log and metrics must be the same MetricsLog")
+        if registry is None:
+            registry = MetricRegistry(metrics)
+        self.registry = registry
+        self.metrics = registry.log
+        # Legacy series names ("total_cost"/"operators") are preserved
+        # via the instruments' series aliases.
+        self._cost_gauge = registry.gauge(
+            "runtime_total_cost",
+            "Instantaneous total communication cost per unit time.",
+            series="total_cost",
+        )
+        self._ops_gauge = registry.gauge(
+            "runtime_operators",
+            "Live join operators across all deployments.",
+            series="operators",
+        )
         self.clock = 0.0
         self._priced_version = network.version
 
@@ -151,5 +174,5 @@ class FlowEngine:
     def _tick(self, time: float | None) -> None:
         if time is not None:
             self.clock = time
-        self.metrics.record(self.clock, "total_cost", self.total_cost())
-        self.metrics.record(self.clock, "operators", float(self.state.num_operators))
+        self._cost_gauge.set(self.total_cost(), time=self.clock)
+        self._ops_gauge.set(float(self.state.num_operators), time=self.clock)

@@ -47,6 +47,22 @@ class MetricsLog:
         """Names of all recorded metrics."""
         return set(self._by_metric)
 
+    def series_stats(self, metric: str) -> dict[str, float]:
+        """Summary statistics of one metric's recorded values.
+
+        Returns ``{"count", "min", "mean", "p50", "p95", "max"}`` over
+        the exact samples (closest-rank percentiles with interpolation).
+        Raises :class:`KeyError` when the metric has no samples, so
+        callers never silently aggregate an empty (e.g. misspelled)
+        series.
+        """
+        points = self._by_metric.get(metric)
+        if not points:
+            raise KeyError(f"metric {metric!r} has no samples")
+        from repro.obs.metrics import series_summary
+
+        return series_summary(points)
+
     def samples(self, metric: str) -> list[Sample]:
         """The full :class:`Sample` records of one metric."""
         return [

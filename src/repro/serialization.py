@@ -1,10 +1,12 @@
-"""JSON serialization for networks, queries and workloads.
+"""JSON serialization for networks, queries, workloads and observability.
 
 Reproducible-experiment plumbing: a generated network + workload pair
 fully determines every experiment in this package, so persisting them
 lets a result be regenerated (or inspected) without re-running the
-generators.  Formats are plain JSON documents with a ``kind`` tag and a
-``version`` for forward compatibility.
+generators.  Optimizer traces and plan explanations serialize too, so a
+planning decision can be archived next to the results it produced.
+Formats are plain JSON documents with a ``kind`` tag and a ``version``
+for forward compatibility.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ import json
 from typing import Any
 
 from repro.network.graph import Network
+from repro.obs.explain import PlanExplanation
+from repro.obs.tracer import Span
 from repro.query.query import JoinPredicate, Query
 from repro.query.stream import Filter, StreamSpec
 from repro.workload.generator import Workload, WorkloadParams
@@ -205,3 +209,46 @@ def workload_from_json(text: str, network: Network | None = None) -> Workload:
         params=params,
         seed=doc.get("seed"),
     )
+
+
+# ----------------------------------------------------------------------
+# Observability: traces and plan explanations
+# ----------------------------------------------------------------------
+def trace_to_json(span: Span) -> str:
+    """Serialize one span tree (as from ``Tracer.last_root``)."""
+    doc = {
+        "kind": "repro.trace",
+        "version": FORMAT_VERSION,
+        "root": span.to_dict(),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def trace_from_json(text: str) -> Span:
+    """Rebuild a span tree serialized by :func:`trace_to_json`.
+
+    The rebuilt spans carry durations and counters but are detached from
+    any tracer (they cannot be re-entered).
+    """
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.trace":
+        raise ValueError(f"not a serialized trace: kind={doc.get('kind')!r}")
+    return Span.from_dict(doc["root"])
+
+
+def explanation_to_json(explanation: PlanExplanation) -> str:
+    """Serialize a plan explanation (as from ``plan(..., explain=True)``)."""
+    doc = {
+        "kind": "repro.explanation",
+        "version": FORMAT_VERSION,
+        **explanation.to_dict(),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def explanation_from_json(text: str) -> PlanExplanation:
+    """Rebuild an explanation serialized by :func:`explanation_to_json`."""
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.explanation":
+        raise ValueError(f"not a serialized explanation: kind={doc.get('kind')!r}")
+    return PlanExplanation.from_dict(doc)

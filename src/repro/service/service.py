@@ -43,6 +43,8 @@ from repro.core.optimizer import Optimizer
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.network.graph import Network
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.deployment import Deployment
 from repro.query.query import Query
 from repro.runtime.engine import FlowEngine
@@ -131,6 +133,13 @@ class StreamQueryService:
         cache: Plan cache (default: 256-entry LRU).
         metrics: Metrics log (default: a fresh one, exposed as
             ``service.metrics``).
+        registry: Optional typed :class:`MetricRegistry` shared with the
+            engine; one is built over ``metrics`` when omitted.
+        tracer: Span tracer for control-plane operations (submit, plan,
+            node failure).  Disabled (:data:`NULL_TRACER`) by default.
+            When enabled it is also installed on the optimizer (if the
+            optimizer has no tracer of its own) and the ads index, so
+            one service-level span tree covers planning end to end.
     """
 
     def __init__(
@@ -143,12 +152,25 @@ class StreamQueryService:
         admission: AdmissionController | None = None,
         cache: PlanCache | None = None,
         metrics: MetricsLog | None = None,
+        registry: MetricRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
         self.hierarchy = hierarchy
         self.ads = ads
-        self.engine = FlowEngine(network, rates, metrics)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            opt_tracer = getattr(optimizer, "tracer", None)
+            if opt_tracer is None or not opt_tracer.enabled:
+                try:
+                    optimizer.tracer = self.tracer
+                except AttributeError:  # pragma: no cover - exotic planners
+                    pass
+            if ads is not None:
+                ads.tracer = self.tracer
+        self.engine = FlowEngine(network, rates, metrics, registry=registry)
+        self.registry = self.engine.registry
         if ads is not None:
             # The hierarchical planners resolve sources through the ads
             # index; make sure every catalog stream is advertised.
@@ -169,6 +191,40 @@ class StreamQueryService:
         self.retired_total = 0
         self.plans_computed = 0
         self.planning_seconds = 0.0
+
+        # Typed instruments over the shared log.  Series aliases keep
+        # the legacy ``service_*`` series names intact for existing
+        # time-series consumers.
+        reg = self.registry
+        self._queue_gauge = reg.gauge(
+            "service_queue_depth", "Queries waiting in the admission queue."
+        )
+        self._live_gauge = reg.gauge(
+            "service_live_queries", "Queries currently deployed."
+        )
+        self._hit_rate_gauge = reg.gauge(
+            "service_cache_hit_rate", "Plan-cache hit rate since startup."
+        )
+        self._admitted_counter = reg.counter(
+            "service_admitted_total", "Queries admitted (deployed or queued)."
+        )
+        self._rejected_counter = reg.counter(
+            "service_rejected_total", "Queries rejected by admission control."
+        )
+        self._planning_hist = reg.histogram(
+            "service_planning_seconds",
+            "Wall-clock planning latency per plan() call (cache hits are 0).",
+        )
+        self._cache_hit_counter = reg.counter(
+            "service_plan_cache_hits_total", "Plan-cache hits."
+        )
+        self._cache_miss_counter = reg.counter(
+            "service_plan_cache_misses_total", "Plan-cache misses (optimizer ran)."
+        )
+        self._plans_examined_counter = reg.counter(
+            "optimizer_plans_examined_total",
+            "Nominal plan/placement combinations examined by the optimizer.",
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -260,17 +316,19 @@ class StreamQueryService:
         """
         if time is not None:
             self.engine.clock = time
-        self._refresh_epochs()
-        self.submitted_total += 1
+        with self.tracer.span("submit", query=query.name) as span:
+            self._refresh_epochs()
+            self.submitted_total += 1
 
-        decision = self._validate(query, lifetime)
-        if decision is None:
-            decision = self.admission.request(query, len(self._live_names()))
-            if decision.status is AdmissionStatus.ADMITTED:
-                self._deploy(query, lifetime)
-            elif decision.status is AdmissionStatus.QUEUED:
-                self._pending_lifetimes[query.name] = lifetime
-        self._record_gauges()
+            decision = self._validate(query, lifetime)
+            if decision is None:
+                decision = self.admission.request(query, len(self._live_names()))
+                if decision.status is AdmissionStatus.ADMITTED:
+                    self._deploy(query, lifetime)
+                elif decision.status is AdmissionStatus.QUEUED:
+                    self._pending_lifetimes[query.name] = lifetime
+            span.tag(decision=decision.status.value)
+            self._record_gauges()
         return decision
 
     def _validate(self, query: Query, lifetime: float | None) -> AdmissionDecision | None:
@@ -352,39 +410,47 @@ class StreamQueryService:
             raise ValueError("handle_node_failure requires a hierarchy")
         from repro.runtime.failover import fail_node
 
-        failure = fail_node(self.hierarchy, node, engine=self.engine)
-        report = ServiceFailureReport(node=node)
-        by_name = {d.query.name: d.query for d in self.engine.state.deployments}
-        self.bump_topology_epoch()
+        with self.tracer.span("node_failure", node=node) as span:
+            failure = fail_node(self.hierarchy, node, engine=self.engine)
+            report = ServiceFailureReport(node=node)
+            by_name = {d.query.name: d.query for d in self.engine.state.deployments}
+            self.bump_topology_epoch()
 
-        # Undeploy every affected query before the single ads re-sync:
-        # their operators on the dead node must all be gone first, or the
-        # sync would try to advertise views at a node the hierarchy no
-        # longer contains.
-        remaining: dict[str, float | None] = {}
-        for name in failure.affected_queries:
-            expiry = self._expiry.pop(name, None)
-            remaining[name] = None if expiry is None else max(1.0, expiry - self.clock)
-            self.engine.undeploy(name, time=self.clock)
-            self.retired_total += 1
-            report.retired.append(name)
-        if self.ads is not None:
-            self.ads.sync_from_state(self.engine.state)
+            # Undeploy every affected query before the single ads re-sync:
+            # their operators on the dead node must all be gone first, or
+            # the sync would try to advertise views at a node the hierarchy
+            # no longer contains.
+            remaining: dict[str, float | None] = {}
+            for name in failure.affected_queries:
+                expiry = self._expiry.pop(name, None)
+                remaining[name] = (
+                    None if expiry is None else max(1.0, expiry - self.clock)
+                )
+                self.engine.undeploy(name, time=self.clock)
+                self.retired_total += 1
+                report.retired.append(name)
+            if self.ads is not None:
+                self.ads.sync_from_state(self.engine.state)
 
-        alive = self.hierarchy.root.subtree_nodes()
-        for name in failure.affected_queries:
-            query = by_name[name]
-            sources_alive = all(self.rates.source(s) in alive for s in query.sources)
-            if query.sink not in alive or not sources_alive:
-                report.lost.append(name)
-                continue
-            decision = self.submit(query, lifetime=remaining[name])
-            report.decisions.append(decision)
-            if not decision.rejected:
-                report.resubmitted.append(name)
-            else:  # pragma: no cover - bounded-queue configurations only
-                report.lost.append(name)
-        self._record_gauges()
+            alive = self.hierarchy.root.subtree_nodes()
+            for name in failure.affected_queries:
+                query = by_name[name]
+                sources_alive = all(
+                    self.rates.source(s) in alive for s in query.sources
+                )
+                if query.sink not in alive or not sources_alive:
+                    report.lost.append(name)
+                    continue
+                decision = self.submit(query, lifetime=remaining[name])
+                report.decisions.append(decision)
+                if not decision.rejected:
+                    report.resubmitted.append(name)
+                else:  # pragma: no cover - bounded-queue configurations only
+                    report.lost.append(name)
+            span.incr("queries_retired", len(report.retired))
+            span.incr("queries_resubmitted", len(report.resubmitted))
+            span.incr("queries_lost", len(report.lost))
+            self._record_gauges()
         return report
 
     # ------------------------------------------------------------------
@@ -401,39 +467,52 @@ class StreamQueryService:
         self._refresh_epochs()
         fingerprint = query_fingerprint(query)
         key = self.cache.key(fingerprint, self.statistics_epoch, self.topology_epoch)
-        entry = self.cache.get(key)
-        if entry is not None and not self._revalidate(query, entry):
-            self.cache.demote(key)
-            entry = None
-        if entry is not None:
-            deployment = Deployment(
-                query=query,
-                plan=entry.plan,
-                placement=dict(entry.placement),
-                stats={**entry.stats, "plan_cache": "hit", "fingerprint": fingerprint},
+        with self.tracer.span("plan", query=query.name) as span:
+            entry = self.cache.get(key)
+            if entry is not None and not self._revalidate(query, entry):
+                self.cache.demote(key)
+                span.incr("cache_revalidation_failures")
+                entry = None
+            if entry is not None:
+                deployment = Deployment(
+                    query=query,
+                    plan=entry.plan,
+                    placement=dict(entry.placement),
+                    stats={
+                        **entry.stats,
+                        "plan_cache": "hit",
+                        "fingerprint": fingerprint,
+                    },
+                )
+                span.tag(cache="hit")
+                self._cache_hit_counter.inc(time=self.clock)
+                self._planning_hist.observe(0.0, time=self.clock)
+                return deployment, True
+            start = _time.perf_counter()
+            deployment = self.optimizer.plan(query, self.engine.state)
+            elapsed = _time.perf_counter() - start
+            self.plans_computed += 1
+            self.planning_seconds += elapsed
+            deployment.stats = {
+                **deployment.stats,
+                "plan_cache": "miss",
+                "fingerprint": fingerprint,
+            }
+            self.cache.put(
+                key,
+                CachedPlan(
+                    plan=deployment.plan,
+                    placement=dict(deployment.placement),
+                    planning_latency=elapsed,
+                    stats=dict(deployment.stats),
+                ),
             )
-            self.metrics.record(self.clock, "service_planning_seconds", 0.0)
-            return deployment, True
-        start = _time.perf_counter()
-        deployment = self.optimizer.plan(query, self.engine.state)
-        elapsed = _time.perf_counter() - start
-        self.plans_computed += 1
-        self.planning_seconds += elapsed
-        deployment.stats = {
-            **deployment.stats,
-            "plan_cache": "miss",
-            "fingerprint": fingerprint,
-        }
-        self.cache.put(
-            key,
-            CachedPlan(
-                plan=deployment.plan,
-                placement=dict(deployment.placement),
-                planning_latency=elapsed,
-                stats=dict(deployment.stats),
-            ),
-        )
-        self.metrics.record(self.clock, "service_planning_seconds", elapsed)
+            span.tag(cache="miss")
+            self._cache_miss_counter.inc(time=self.clock)
+            examined = deployment.stats.get("plans_examined")
+            if examined:
+                self._plans_examined_counter.inc(float(examined), time=self.clock)
+            self._planning_hist.observe(elapsed, time=self.clock)
         return deployment, False
 
     def _revalidate(self, query: Query, entry: CachedPlan) -> bool:
@@ -545,12 +624,15 @@ class StreamQueryService:
 
     def _record_gauges(self) -> None:
         now = self.clock
-        log = self.metrics
-        log.record(now, "service_queue_depth", float(self.admission.queue_depth))
-        log.record(now, "service_live_queries", float(len(self._live_names())))
-        log.record(now, "service_cache_hit_rate", self.cache.hit_rate)
-        log.record(now, "service_admitted_total", float(self.admission.admitted_total))
-        log.record(now, "service_rejected_total", float(self.admission.rejected_total))
+        self._queue_gauge.set(float(self.admission.queue_depth), time=now)
+        self._live_gauge.set(float(len(self._live_names())), time=now)
+        self._hit_rate_gauge.set(self.cache.hit_rate, time=now)
+        self._admitted_counter.sync_total(
+            float(self.admission.admitted_total), time=now
+        )
+        self._rejected_counter.sync_total(
+            float(self.admission.rejected_total), time=now
+        )
 
 
 def churn_trace(

@@ -1,0 +1,192 @@
+"""Span tracer: nesting, counters, serialization, and the no-op default.
+
+The acceptance-critical properties live here too: a disabled tracer
+records nothing (no samples, no spans) and never changes what the
+optimizers compute -- plans and costs are bit-identical with tracing on
+and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bottom_up import BottomUpOptimizer
+from repro.core.exhaustive import OptimalPlanner
+from repro.core.top_down import TopDownOptimizer
+from repro.hierarchy import build_hierarchy
+from repro.network.topology import transit_stub_by_size
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.tracer import NULL_SPAN
+from repro.workload.generator import WorkloadParams, generate_workload
+
+
+class TestSpanBasics:
+    def test_spans_nest_and_time(self):
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("outer", algorithm="x") as outer:
+            with tracer.span("inner") as inner:
+                inner.incr("work", 3)
+                inner.incr("work", 2)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.counters["work"] == 5
+        assert outer.duration == 3.0  # ticks 0..3
+        assert inner.duration == 1.0  # ticks 1..2
+        assert tracer.current is None
+
+    def test_siblings_attach_to_the_same_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert root.find("b")[0] is root.children[1]
+
+    def test_current_incr_and_tag_hit_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            tracer.incr("hits")
+            tracer.tag(mode="test")
+            assert tracer.current is root
+        assert root.counters == {"hits": 1}
+        assert root.tags == {"mode": "test"}
+        # with nothing open, both are silently dropped
+        tracer.incr("hits")
+        tracer.tag(mode="late")
+        assert root.counters == {"hits": 1}
+
+    def test_total_sums_over_the_subtree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            root.incr("n", 1)
+            with tracer.span("kid") as kid:
+                kid.incr("n", 2)
+                with tracer.span("grandkid") as g:
+                    g.incr("n", 4)
+        assert root.total("n") == 7
+
+    def test_exception_inside_a_span_still_closes_it(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None  # stack unwound cleanly
+        assert tracer.last_root.duration >= 0.0
+
+    def test_round_trip_through_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("root", algorithm="top-down") as root:
+            root.incr("plans_examined", 42)
+            with tracer.span("task", level=2):
+                pass
+        rebuilt = Span.from_dict(root.to_dict())
+        assert rebuilt.name == "root"
+        assert rebuilt.tags == {"algorithm": "top-down"}
+        assert rebuilt.counters == {"plans_examined": 42}
+        assert [c.name for c in rebuilt.children] == ["task"]
+        assert rebuilt.duration == pytest.approx(root.duration)
+
+    def test_render_contains_tags_counters_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("optimize", algorithm="bu") as root:
+            with tracer.span("climb", level=1) as climb:
+                climb.incr("plans_examined", 9)
+        text = root.render()
+        assert "optimize algorithm=bu" in text
+        assert "\n  climb level=1 plans_examined=9" in text
+        assert root.render(max_depth=0).count("\n") == 0
+
+
+class TestNullTracer:
+    def test_null_tracer_allocates_nothing(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("anything", x=1) is NULL_SPAN
+        assert NullTracer().span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_TRACER.span("work", q="q1") as span:
+            span.incr("n", 5)
+            span.tag(foo="bar")
+        assert span.counters == {}
+        assert span.tags == {}
+        assert NULL_TRACER.roots == ()
+        assert NULL_TRACER.last_root is None
+
+
+@pytest.fixture(scope="module")
+def traced_env():
+    net = transit_stub_by_size(32, seed=3)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=6, num_queries=5, joins_per_query=(3, 4)),
+        seed=8,
+    )
+    hierarchy = build_hierarchy(net, max_cs=8, seed=0)
+    return net, hierarchy, workload
+
+
+class TestOptimizerTracing:
+    def test_top_down_task_spans_nest_under_recursion(self, traced_env):
+        net, hierarchy, workload = traced_env
+        rates = workload.rate_model()
+        tracer = Tracer()
+        optimizer = TopDownOptimizer(hierarchy, rates, tracer=tracer)
+        optimizer.plan(workload.queries[0], None)
+        root = tracer.last_root
+        assert root.name == "optimize"
+        tasks = root.find("task")
+        assert tasks, "top-down planning must open task spans"
+        # the first task is the root cluster's; fragment tasks for lower
+        # levels nest *inside* it, mirroring the recursion
+        top = tasks[0]
+        assert top in root.children
+        assert top.find("task")[1:], "recursive fragments must nest in the parent task"
+        levels = [t.tags["level"] for t in top.walk() if t.name == "task"]
+        assert levels[0] == max(levels)
+        assert root.total("plans_examined") > 0
+
+    def test_disabled_tracer_adds_no_spans(self, traced_env):
+        net, hierarchy, workload = traced_env
+        rates = workload.rate_model()
+        optimizer = TopDownOptimizer(hierarchy, rates)  # default NULL_TRACER
+        deployment = optimizer.plan(workload.queries[0], None)
+        assert optimizer.tracer is NULL_TRACER
+        assert "trace" not in deployment.stats
+
+    @pytest.mark.parametrize("make", [
+        lambda net, h, r: TopDownOptimizer(h, r),
+        lambda net, h, r: BottomUpOptimizer(h, r),
+        lambda net, h, r: OptimalPlanner(net, r),
+    ], ids=["top-down", "bottom-up", "optimal"])
+    def test_tracing_never_changes_plans_or_costs(self, traced_env, make):
+        net, hierarchy, workload = traced_env
+        rates = workload.rate_model()
+        plain = make(net, hierarchy, rates)
+        traced = make(net, hierarchy, rates)
+        traced.tracer = Tracer()
+        if hasattr(traced, "ads"):
+            traced.ads.tracer = traced.tracer
+        for query in workload:
+            a = plain.plan(query, None)
+            b = traced.plan(query, None, explain=True)
+            assert a.plan.pretty() == b.plan.pretty()
+            assert {n.pretty(): p for n, p in a.placement.items()} == {
+                n.pretty(): p for n, p in b.placement.items()
+            }
+            cost_a = a.stats.get("est_cost", a.stats.get("cost_estimate"))
+            cost_b = b.stats.get("est_cost", b.stats.get("cost_estimate"))
+            assert cost_a == cost_b or np.isclose(cost_a, cost_b, rtol=0, atol=0)
+
+    def test_explain_true_uses_a_one_shot_tracer(self, traced_env):
+        net, hierarchy, workload = traced_env
+        rates = workload.rate_model()
+        optimizer = BottomUpOptimizer(hierarchy, rates)
+        assert not optimizer.tracer.enabled
+        deployment = optimizer.plan(workload.queries[1], None, explain=True)
+        assert deployment.explanation is not None
+        assert deployment.stats["trace"]["name"] == "optimize"
+        # the optimizer's own tracer stays disabled
+        assert not optimizer.tracer.enabled

@@ -27,6 +27,22 @@ class TestServeCli:
         assert "hit rate" in out
         assert "deployments/s" in out
 
+    def test_serve_prints_final_gauges_on_shutdown(self, capsys):
+        rc = main([
+            "serve",
+            "--nodes", "16", "--streams", "4", "--queries", "4",
+            "--budget", "4", "--repeats", "1", "--lifetime", "2",
+            "--max-cs", "4", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "final gauges:" in out
+        # drained clean shutdown: nothing queued, nothing live
+        assert "service_queue_depth = 0" in out
+        assert "service_live_queries = 0" in out
+        assert "service_cache_hit_rate = " in out
+        assert "planning latency: p50" in out
+
     def test_serve_replays_a_trace_file(self, tmp_path, capsys):
         net = repro.transit_stub_by_size(16, seed=4)
         workload = repro.generate_workload(
