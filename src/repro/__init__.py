@@ -80,9 +80,36 @@ from repro.obs import (
     Tracer,
     build_explanation,
 )
+from repro.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    CoordinatorTimeout,
+    CoordinatorUnreachable,
+    DeploymentError,
+    FaultInjectionError,
+    HierarchyError,
+    NodeNotFoundError,
+    PlanningError,
+    ReproError,
+    UnknownQueryError,
+)
+from repro.resilience import (
+    NULL_FAULTS,
+    BreakerBoard,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    ResilientControl,
+    RetryPolicy,
+)
 from repro.serialization import (
     explanation_from_json,
     explanation_to_json,
+    failure_report_from_json,
+    failure_report_to_json,
+    fault_plan_from_json,
+    fault_plan_to_json,
     network_from_json,
     network_to_json,
     query_from_json,
@@ -184,6 +211,31 @@ __all__ = [
     "MetricRegistry",
     "PlanExplanation",
     "build_explanation",
+    # errors
+    "ReproError",
+    "PlanningError",
+    "CoordinatorUnreachable",
+    "CoordinatorTimeout",
+    "CircuitOpenError",
+    "DeploymentError",
+    "AdmissionError",
+    "HierarchyError",
+    "NodeNotFoundError",
+    "UnknownQueryError",
+    "FaultInjectionError",
+    # resilience
+    "FaultPlan",
+    "FaultInjector",
+    "NULL_FAULTS",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "ResilienceConfig",
+    "ResilientControl",
+    "fault_plan_to_json",
+    "fault_plan_from_json",
+    "failure_report_to_json",
+    "failure_report_from_json",
     "trace_to_json",
     "trace_from_json",
     "explanation_to_json",

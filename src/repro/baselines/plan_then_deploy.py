@@ -131,14 +131,31 @@ class PlanThenDeploy:
         network: The physical network.
         rates: Rate model over the stream catalog.
         reuse: Let advertised views participate in the plan phase.
+        candidates_fn: Optional callable returning the placement-
+            candidate node ids.  Defaults to every network node; the
+            resilience layer passes the live hierarchy members so a
+            degraded plan never lands operators on a crashed or
+            quarantined node.
     """
 
     name = "plan-then-deploy"
 
-    def __init__(self, network: Network, rates: RateModel, reuse: bool = True) -> None:
+    def __init__(
+        self,
+        network: Network,
+        rates: RateModel,
+        reuse: bool = True,
+        candidates_fn=None,
+    ) -> None:
         self.network = network
         self.rates = rates
         self.reuse = reuse
+        self.candidates_fn = candidates_fn
+
+    def _candidates(self) -> list[int]:
+        if self.candidates_fn is None:
+            return self.network.nodes()
+        return list(self.candidates_fn())
 
     def plan(self, query: Query, state: DeploymentState | None = None) -> Deployment:
         """Fix the volume-optimal tree obliviously, then place it optimally.
@@ -168,7 +185,7 @@ class PlanThenDeploy:
             positions = leaf_position_map(tree, self.rates, reusable)
             result = optimal_tree_placement(
                 tree,
-                self.network.nodes(),
+                self._candidates(),
                 costs,
                 positions,
                 self.rates.flow_rates(query, tree),

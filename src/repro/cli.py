@@ -10,6 +10,7 @@ Installed as the ``repro`` console script::
     repro serve --queries 40 --budget 8 --repeats 2   # lifecycle service
     repro trace --query 0 --algorithm top-down        # span tree + explanation
     repro metrics --format prom                       # typed metric exposition
+    repro chaos --seed 7 --duration 50                # fault-injection drill
 
 Everything the CLI does is also available as a library call; the CLI is
 a thin veneer for kicking the tires.
@@ -18,6 +19,7 @@ a thin veneer for kicking the tires.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import Sequence
 
@@ -314,6 +316,142 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import pathlib
+
+    import repro
+    from repro.resilience import FaultInjector, FaultPlan, ResilienceConfig
+    from repro.resilience.faults import (
+        CoordinatorOutage,
+        CoordinatorSlowdown,
+        MessageStorm,
+        NodeCrash,
+        StaleStatistics,
+    )
+    from repro.service import (
+        AdmissionController,
+        PlanCache,
+        StreamQueryService,
+        churn_trace,
+    )
+
+    network, workload = _generated_workload(args)
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads
+    )
+
+    if args.plan:
+        path = pathlib.Path(args.plan)
+        if not path.is_file():
+            print(f"error: fault plan not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            plan = repro.fault_plan_from_json(path.read_text())
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: {path} is not a fault plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Keep source and sink nodes crash-free so the workload stays
+        # plannable; everything else is fair game.  Concentrate the
+        # scripted events inside the churn window (submissions plus one
+        # lifetime) -- faults that fire after the last query retires
+        # exercise nothing.
+        protected = {spec.source for spec in rates.streams.values()}
+        protected |= {q.sink for q in workload}
+        submit_ticks = math.ceil(len(workload) * args.repeats / max(1, args.arrivals))
+        window = min(args.duration, submit_ticks + args.lifetime)
+        # Outages/slowdowns aimed at the coordinators the workload
+        # actually plans through, so the drill exercises the ladder.
+        coordinators = {hierarchy.leaf_cluster(q.sink).coordinator for q in workload}
+        plan = FaultPlan.generate(
+            network.nodes(),
+            seed=args.seed,
+            duration=window,
+            protected=protected,
+            focus=coordinators,
+        )
+    if args.emit_plan:
+        print(repro.fault_plan_to_json(plan))
+        return 0
+
+    faults = FaultInjector(plan)
+    service = StreamQueryService(
+        optimizer,
+        network,
+        rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=AdmissionController(budget=args.budget),
+        cache=PlanCache(),
+        resilience=ResilienceConfig(),
+        faults=faults,
+    )
+    trace = churn_trace(
+        workload,
+        lifetime=args.lifetime,
+        arrivals_per_tick=args.arrivals,
+        repeats=args.repeats,
+    )
+    report = service.replay(trace)
+    # Keep ticking past the trace so every scripted fault fires.
+    clock = service.clock
+    while clock < args.duration:
+        clock += 1.0
+        service.tick(clock)
+
+    s = report.summary
+    res = service.resilience.summary()
+    fs = faults.summary()
+    counts = {
+        "crashes": len(plan.of_kind(NodeCrash)),
+        "outages": len(plan.of_kind(CoordinatorOutage)),
+        "slowdowns": len(plan.of_kind(CoordinatorSlowdown)),
+        "storms": len(plan.of_kind(MessageStorm)),
+        "stale windows": len(plan.of_kind(StaleStatistics)),
+    }
+    print(f"chaos drill: {args.algorithm} on {len(network.nodes())} nodes, "
+          f"seed {args.seed}, {args.duration:g} ticks")
+    print("  fault plan: " + ", ".join(f"{v} {k}" for k, v in counts.items() if v))
+    print(f"  trace: {s['submitted']} submissions, "
+          f"{s['deployed_total']} deployments, {s['retired_total']} retirements")
+    print(f"  faults applied: {fs['events_applied']} events; messages "
+          f"dropped {fs['messages_dropped']}, delayed {fs['messages_delayed']}, "
+          f"duplicated {fs['messages_duplicated']}")
+    print(f"  resilience: {res['retries']} retries, {res['fallbacks']} fallbacks, "
+          f"{res['breaker_opens']} breaker opens")
+    print(f"  parked: {len(res['parked_now'])} now / {res['parked_total']} total; "
+          f"quarantined: {len(res['quarantined_now'])} now / "
+          f"{res['quarantined_total']} total")
+    print(f"  degraded queries: {len(res['degraded_queries'])}")
+    print(f"  final: {len(service.live_queries)} live queries, "
+          f"cost {service.total_cost():,.1f}/unit-time, "
+          f"epochs stats={service.statistics_epoch} topo={service.topology_epoch}")
+
+    failures: list[str] = []
+    violations = hierarchy.invariant_violations()
+    if violations:
+        failures.extend(f"hierarchy invariant: {v}" for v in violations)
+    crashed = set(faults.crashed)
+    for deployment in service.engine.state.deployments:
+        bad = sorted(set(deployment.placement.values()) & crashed)
+        if bad:
+            failures.append(
+                f"live query {deployment.query.name!r} has operators on "
+                f"crashed node(s) {bad}"
+            )
+    if failures:
+        print("  VALIDATION FAILED:")
+        for failure in failures:
+            print(f"    - {failure}")
+        return 1
+    print("  validation: hierarchy invariants hold; "
+          "no live operators on crashed nodes")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -416,6 +554,33 @@ def build_parser() -> argparse.ArgumentParser:
                                   "in-network", "plan-then-deploy"])
     metrics.add_argument("--seed", type=int, default=None)
     metrics.set_defaults(func=_cmd_metrics)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection drill against the resilient service",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for the workload and the fault plan")
+    chaos.add_argument("--duration", type=float, default=40.0,
+                       help="virtual ticks the drill covers")
+    chaos.add_argument("--nodes", type=int, default=32)
+    chaos.add_argument("--streams", type=int, default=8)
+    chaos.add_argument("--queries", type=int, default=12)
+    chaos.add_argument("--budget", type=int, default=8)
+    chaos.add_argument("--lifetime", type=float, default=5.0)
+    chaos.add_argument("--arrivals", type=int, default=2)
+    chaos.add_argument("--repeats", type=int, default=2)
+    chaos.add_argument("--max-cs", type=int, default=8)
+    chaos.add_argument("--algorithm", default="top-down",
+                       choices=["top-down", "bottom-up"],
+                       help="hierarchical planners (the ladder degrades "
+                            "from them)")
+    chaos.add_argument("--plan", default=None,
+                       help="fault-plan JSON (from --emit-plan); "
+                            "overrides generation")
+    chaos.add_argument("--emit-plan", action="store_true",
+                       help="print the generated fault plan as JSON and exit")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

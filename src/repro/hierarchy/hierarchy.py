@@ -17,6 +17,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.errors import HierarchyError, NodeNotFoundError
 from repro.hierarchy.clustering import capped_clusters, choose_medoid
 from repro.network.graph import Network
 from repro.utils import SeedLike, as_generator
@@ -46,9 +47,11 @@ class Cluster:
 
     def __post_init__(self) -> None:
         if self.coordinator not in self.members:
-            raise ValueError("coordinator must be a cluster member")
+            raise HierarchyError("coordinator must be a cluster member")
         if self.level > 1 and set(self.children) != set(self.members):
-            raise ValueError("each member of a non-leaf cluster must own a child cluster")
+            raise HierarchyError(
+                "each member of a non-leaf cluster must own a child cluster"
+            )
 
     @property
     def size(self) -> int:
@@ -109,22 +112,29 @@ class Hierarchy:
     def clusters_at(self, level: int) -> list[Cluster]:
         """All clusters at 1-based ``level``."""
         if not 1 <= level <= self.height:
-            raise ValueError(f"level must be in [1, {self.height}], got {level}")
+            raise HierarchyError(f"level must be in [1, {self.height}], got {level}")
         return list(self.levels[level - 1])
 
     def leaf_cluster(self, node: int) -> Cluster:
-        """The level-1 cluster containing a physical node."""
+        """The level-1 cluster containing a physical node.
+
+        Raises:
+            NodeNotFoundError: The node is not in the hierarchy (also
+                catchable as ``KeyError``).
+        """
         try:
             return self._leaf_of[node]
         except KeyError:
-            raise KeyError(f"node {node} is not in the hierarchy") from None
+            raise NodeNotFoundError(f"node {node} is not in the hierarchy") from None
 
     def cluster_of(self, node: int, level: int) -> Cluster:
         """The level-``level`` cluster whose subtree contains ``node``."""
         cluster = self.leaf_cluster(node)
         while cluster.level < level:
             if cluster.parent is None:
-                raise ValueError(f"level {level} exceeds hierarchy height {self.height}")
+                raise HierarchyError(
+                    f"level {level} exceeds hierarchy height {self.height}"
+                )
             cluster = cluster.parent
         return cluster
 
@@ -150,7 +160,7 @@ class Hierarchy:
         if cached is not None:
             return cached
         if member not in cluster.members:
-            raise KeyError(f"{member} is not a member of {cluster!r}")
+            raise NodeNotFoundError(f"{member} is not a member of {cluster!r}")
         if cluster.level == 1:
             result = frozenset((member,))
         else:
@@ -204,8 +214,10 @@ class Hierarchy:
             for member in cluster.members:
                 self._leaf_of[member] = cluster
 
-    def validate(self, full_coverage: bool = False) -> None:
-        """Check every structural invariant; raise AssertionError if broken.
+    def invariant_violations(self, full_coverage: bool = False) -> list[str]:
+        """Every broken structural invariant, as human-readable strings.
+
+        The checked invariants:
 
         * level-1 clusters partition a subset of the network's nodes
           (all of them when ``full_coverage`` is set -- true right after
@@ -216,40 +228,81 @@ class Hierarchy:
           below;
         * the top level is a single cluster;
         * parent/child links are mutually consistent.
+
+        Unlike :meth:`validate` this works under ``python -O`` (no
+        ``assert``) and reports *all* violations instead of the first --
+        what the chaos harness and the churn property test need.
         """
+        problems: list[str] = []
+        if not self.levels or not self.levels[0]:
+            return ["hierarchy has no levels/clusters"]
         nodes = set(self.network.nodes())
         seen: set[int] = set()
         for cluster in self.levels[0]:
-            assert cluster.level == 1, "bottom level must be level 1"
+            if cluster.level != 1:
+                problems.append("bottom level must be level 1")
             overlap = seen & set(cluster.members)
-            assert not overlap, f"nodes {overlap} appear in two leaf clusters"
+            if overlap:
+                problems.append(f"nodes {sorted(overlap)} appear in two leaf clusters")
             seen |= set(cluster.members)
-        assert seen <= nodes, f"hierarchy contains unknown nodes {seen - nodes}"
-        if full_coverage:
-            assert seen == nodes, f"leaf clusters cover {len(seen)} of {len(nodes)} nodes"
-        assert len(self.levels[-1]) == 1, "top level must be a single cluster"
+        if not seen <= nodes:
+            problems.append(f"hierarchy contains unknown nodes {sorted(seen - nodes)}")
+        if full_coverage and seen != nodes:
+            problems.append(
+                f"leaf clusters cover {len(seen)} of {len(nodes)} nodes"
+            )
+        if len(self.levels[-1]) != 1:
+            problems.append("top level must be a single cluster")
         for depth, level_clusters in enumerate(self.levels):
             level = depth + 1
             for cluster in level_clusters:
-                assert cluster.level == level
-                assert 1 <= cluster.size <= self.max_cs, (
-                    f"cluster size {cluster.size} violates max_cs={self.max_cs}"
-                )
-                assert cluster.coordinator in cluster.members
+                if cluster.level != level:
+                    problems.append(
+                        f"cluster {cluster!r} stored at level {level}"
+                    )
+                if not 1 <= cluster.size <= self.max_cs:
+                    problems.append(
+                        f"cluster size {cluster.size} violates max_cs={self.max_cs}"
+                    )
+                if cluster.coordinator not in cluster.members:
+                    problems.append(
+                        f"coordinator {cluster.coordinator} is not a member of {cluster!r}"
+                    )
                 if level > 1:
                     for member, child in cluster.children.items():
-                        assert child.coordinator == member, "member must be its child's coordinator"
-                        assert child.parent is cluster, "child parent link broken"
+                        if child.coordinator != member:
+                            problems.append(
+                                f"member {member} must be its child's coordinator"
+                            )
+                        if child.parent is not cluster:
+                            problems.append(f"child parent link broken at {cluster!r}")
                 if level < self.height:
-                    assert cluster.parent is not None, "non-root cluster must have a parent"
-                    assert cluster.coordinator in cluster.parent.members
+                    if cluster.parent is None:
+                        problems.append(f"non-root cluster {cluster!r} has no parent")
+                    elif cluster.coordinator not in cluster.parent.members:
+                        problems.append(
+                            f"coordinator {cluster.coordinator} missing from parent members"
+                        )
             if level > 1:
                 below = {c.coordinator for c in self.levels[depth - 1]}
                 here = {m for c in level_clusters for m in c.members}
-                assert here == below, (
-                    f"level {level} members {here} != coordinators below {below}"
-                )
-        assert self.levels[-1][0].parent is None, "root must not have a parent"
+                if here != below:
+                    problems.append(
+                        f"level {level} members {sorted(here)} != coordinators "
+                        f"below {sorted(below)}"
+                    )
+        if self.levels[-1][0].parent is not None:
+            problems.append("root must not have a parent")
+        return problems
+
+    def validate(self, full_coverage: bool = False) -> None:
+        """Check every structural invariant; raise AssertionError if broken.
+
+        See :meth:`invariant_violations` for the invariant list (and for
+        an ``-O``-safe, collect-everything variant).
+        """
+        problems = self.invariant_violations(full_coverage)
+        assert not problems, "; ".join(problems)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         shape = " -> ".join(str(len(level)) for level in self.levels)
@@ -275,7 +328,9 @@ def build_hierarchy(
         A validated :class:`Hierarchy`.
     """
     if max_cs < 2:
-        raise ValueError("max_cs must be at least 2 for the hierarchy to shrink upward")
+        raise HierarchyError(
+            "max_cs must be at least 2 for the hierarchy to shrink upward"
+        )
     rng = as_generator(seed)
     costs = network.cost_matrix()
     levels: list[list[Cluster]] = []

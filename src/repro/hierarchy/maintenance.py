@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import HierarchyError, NodeNotFoundError
 from repro.hierarchy.clustering import capped_clusters, choose_medoid
 from repro.hierarchy.hierarchy import Cluster, Hierarchy
 from repro.utils import SeedLike, as_generator
@@ -37,9 +38,9 @@ def add_node(hierarchy: Hierarchy, node: int, seed: SeedLike = None) -> None:
     """
     network = hierarchy.network
     if not network.has_node(node):
-        raise KeyError(f"node {node} is not in the network")
+        raise NodeNotFoundError(f"node {node} is not in the network")
     if any(node in c.members for c in hierarchy.levels[0]):
-        raise ValueError(f"node {node} is already in the hierarchy")
+        raise HierarchyError(f"node {node} is already in the hierarchy")
     costs = network.cost_matrix()
     rng = as_generator(seed)
 
@@ -67,7 +68,7 @@ def remove_node(hierarchy: Hierarchy, node: int) -> None:
     """
     cluster = hierarchy.leaf_cluster(node)
     if len(hierarchy.root.subtree_nodes()) == 1:
-        raise ValueError("cannot remove the last node of the hierarchy")
+        raise HierarchyError("cannot remove the last node of the hierarchy")
     costs = hierarchy.network.cost_matrix()
 
     cluster.members.remove(node)
@@ -209,7 +210,7 @@ def _drop_cluster(hierarchy: Hierarchy, cluster: Cluster, costs: np.ndarray) -> 
     parent = cluster.parent
     if parent is None:
         if not hierarchy.levels[depth]:
-            raise ValueError("hierarchy has become empty")
+            raise HierarchyError("hierarchy has become empty")
         return
     parent.members.remove(cluster.coordinator)
     del parent.children[cluster.coordinator]

@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.errors import DeploymentError, UnknownQueryError
 from repro.query.plan import Join, Leaf, PlanNode
 from repro.query.query import Query, ViewSignature
 
@@ -89,12 +90,12 @@ class Deployment:
     def __post_init__(self) -> None:
         for node in self.plan.subtrees():
             if node not in self.placement:
-                raise ValueError(
+                raise DeploymentError(
                     f"deployment for {self.query.name!r} is missing a placement "
                     f"for subtree {node.pretty()}"
                 )
         if self.plan.sources != frozenset(self.query.sources):
-            raise ValueError(
+            raise DeploymentError(
                 f"plan covers {sorted(self.plan.sources)} but query "
                 f"{self.query.name!r} needs {sorted(self.query.sources)}"
             )
@@ -210,7 +211,7 @@ class DeploymentState:
         """
         query = deployment.query
         if query.name in self._deployments:
-            raise ValueError(f"query {query.name!r} is already deployed")
+            raise DeploymentError(f"query {query.name!r} is already deployed")
         added: list[FlowEdge] = []
         for subtree in deployment.plan.subtrees():
             if isinstance(subtree, Leaf):
@@ -260,7 +261,7 @@ class DeploymentState:
         middleware does).
         """
         if name not in self._deployments:
-            raise KeyError(f"query {name!r} is not deployed")
+            raise UnknownQueryError(f"query {name!r} is not deployed")
         deployment = self._deployments.pop(name)
         reclaimed = 0.0
         kept: list[FlowEdge] = []
@@ -341,7 +342,7 @@ class DeploymentState:
         if leaf.is_base_stream:
             source = self._source_fn(leaf.stream)
             if node != source:
-                raise ValueError(
+                raise DeploymentError(
                     f"base stream {leaf.stream!r} must be placed at its source "
                     f"{source}, got {node}"
                 )
@@ -349,7 +350,7 @@ class DeploymentState:
         rec = self.find_reusable(query, leaf.view, node)
         if rec is None:
             sig = query.view_signature(leaf.view)
-            raise ValueError(
+            raise DeploymentError(
                 f"deployment for {query.name!r} reuses view {sig.label()} at node "
                 f"{node}, but no such operator is deployed"
             )

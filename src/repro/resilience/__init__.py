@@ -1,0 +1,63 @@
+"""Fault injection and resilience policies for the control plane.
+
+Two halves:
+
+* :mod:`repro.resilience.faults` -- a deterministic, seeded fault
+  injector.  A :class:`FaultPlan` scripts node crashes/rejoins,
+  coordinator slow-downs and outages, message drop/delay/duplication
+  windows, stale-statistics windows and whole-cluster partitions; a
+  :class:`FaultInjector` applies it through a middleware hook on
+  :meth:`repro.runtime.simulator.Simulator.send` and a clock-driven hook
+  on :meth:`repro.service.service.StreamQueryService.tick`.  The
+  :data:`NULL_FAULTS` default injects nothing and costs nothing.
+
+* :mod:`repro.resilience.policy` -- :class:`RetryPolicy` (capped
+  exponential backoff with seeded jitter, per-attempt timeouts and
+  deadlines) and per-node :class:`CircuitBreaker`\\ s with half-open
+  probing, aggregated by a :class:`BreakerBoard`.
+
+:mod:`repro.resilience.degradation` ties them together: a degradation
+ladder that falls back from hierarchical planning to parent-level
+planning to the plan-then-deploy baseline, quarantines flapping nodes
+from the placement candidates, and parks un-plannable queries until the
+topology epoch advances.
+"""
+
+from repro.resilience.faults import (
+    NULL_FAULTS,
+    CoordinatorOutage,
+    CoordinatorSlowdown,
+    FaultInjector,
+    FaultPlan,
+    MessageStorm,
+    NodeCrash,
+    NullFaultInjector,
+    Partition,
+    StaleStatistics,
+)
+from repro.resilience.policy import (
+    BreakerBoard,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.resilience.degradation import ResilienceConfig, ResilientControl
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "NullFaultInjector",
+    "NULL_FAULTS",
+    "NodeCrash",
+    "CoordinatorSlowdown",
+    "CoordinatorOutage",
+    "MessageStorm",
+    "StaleStatistics",
+    "Partition",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerState",
+    "ResilienceConfig",
+    "ResilientControl",
+]

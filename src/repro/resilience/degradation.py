@@ -1,0 +1,424 @@
+"""Graceful degradation for the query lifecycle service.
+
+:class:`ResilientControl` wraps the service's plan/deploy path in a
+*degradation ladder*:
+
+1. ``hierarchical`` -- the primary optimizer through the plan cache,
+   gated on the sink's leaf-cluster coordinator being reachable and its
+   circuit breaker closed;
+2. ``parent`` -- the same planning escalated to the parent cluster's
+   coordinator (the paper's coordinator chain: when a leaf coordinator
+   is down, its parent can still run the planning task for the
+   sub-hierarchy), gated on *that* coordinator instead;
+3. ``baseline`` -- local plan-then-deploy at the sink over the live
+   placement candidates only; always available, never cached (a
+   degraded plan must not be memoized as if it were optimal).
+
+Every rung attempt runs under the configured :class:`RetryPolicy`;
+failures feed the per-coordinator :class:`BreakerBoard`.  Nodes whose
+breaker keeps re-opening (*flapping*) are quarantined out of the
+placement candidates -- removed from the hierarchy for a spell and
+re-admitted when it ends.  Queries no rung can plan are *parked* and
+re-admitted automatically once the topology epoch advances (a node
+crashed, rejoined, or left quarantine -- any event that could make them
+plannable again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import (
+    CoordinatorTimeout,
+    CoordinatorUnreachable,
+    PlanningError,
+    ReproError,
+)
+from repro.query.deployment import Deployment
+from repro.query.query import Query
+from repro.resilience.faults import NULL_FAULTS
+from repro.resilience.policy import BreakerBoard, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.service import StreamQueryService
+
+
+@dataclass
+class ResilienceConfig:
+    """Tuning knobs of the resilience layer.
+
+    Attributes:
+        retry: Retry policy for coordinator calls.
+        failure_threshold: Consecutive failures tripping a breaker.
+        recovery_time: Ticks a tripped breaker stays open.
+        half_open_probes: Trial calls allowed while half-open.
+        quarantine_after: Breaker-open count that flags a node as
+            flapping and quarantines it from placement.
+        quarantine_ticks: How long a quarantined node stays out.
+        rpc_seconds: Nominal healthy coordinator round-trip; multiplied
+            by an injected slow-down factor and compared against the
+            retry policy's ``attempt_timeout``.
+        seed: Seed for backoff jitter (determinism).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    failure_threshold: int = 3
+    recovery_time: float = 10.0
+    half_open_probes: int = 1
+    quarantine_after: int = 2
+    quarantine_ticks: float = 25.0
+    rpc_seconds: float = 0.05
+    seed: int = 0
+
+
+@dataclass
+class ParkedQuery:
+    """A query waiting in the resilience retry queue.
+
+    Attributes:
+        query: The un-plannable query.
+        lifetime: Its requested lifetime, preserved for re-admission.
+        epoch: Topology epoch at parking time; the query is retried
+            once the epoch advances past it.
+        reason: Why planning failed.
+    """
+
+    query: Query
+    lifetime: float | None
+    epoch: int
+    reason: str
+
+
+class ResilientControl:
+    """The service's resilience engine (ladder + breakers + quarantine).
+
+    Args:
+        config: Tuning knobs.
+        faults: Fault injector consulted for coordinator reachability
+            and slow-downs (:data:`NULL_FAULTS` reports everything
+            healthy).
+    """
+
+    def __init__(self, config: ResilienceConfig, faults=NULL_FAULTS) -> None:
+        self.config = config
+        self.faults = faults
+        self.rng = np.random.default_rng(config.seed)
+        self.breakers = BreakerBoard(
+            failure_threshold=config.failure_threshold,
+            recovery_time=config.recovery_time,
+            half_open_probes=config.half_open_probes,
+        )
+        self.parked: dict[str, ParkedQuery] = {}
+        self.quarantined: dict[int, float] = {}
+        self.degraded_queries: set[str] = set()
+        self.retries_total = 0
+        self.fallbacks_total = 0
+        self.parked_total = 0
+        self.quarantined_total = 0
+        self._fallback = None
+        self._instruments: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, service: "StreamQueryService") -> None:
+        """Attach to a service: build the fallback planner and metrics."""
+        from repro.baselines.plan_then_deploy import PlanThenDeploy
+
+        hierarchy = service.hierarchy
+        if hierarchy is not None:
+            candidates_fn = lambda: sorted(hierarchy.root.subtree_nodes())  # noqa: E731
+        else:
+            candidates_fn = None
+        self._fallback = PlanThenDeploy(
+            service.network, service.rates, candidates_fn=candidates_fn
+        )
+        reg = service.registry
+        self._instruments = {
+            "retries": reg.counter(
+                "resilience_retries_total", "Plan attempts retried after a failure."
+            ),
+            "fallbacks": reg.counter(
+                "resilience_fallbacks_total",
+                "Plans served by a degraded rung of the ladder.",
+            ),
+            "breaker_opens": reg.counter(
+                "resilience_breaker_opens_total", "Circuit-breaker open transitions."
+            ),
+            "parked": reg.gauge(
+                "resilience_parked_queries", "Queries parked awaiting topology change."
+            ),
+            "quarantined": reg.gauge(
+                "resilience_quarantined_nodes", "Nodes quarantined from placement."
+            ),
+            "faults": reg.counter(
+                "resilience_faults_applied_total", "Discrete fault events applied."
+            ),
+            "backoff": reg.histogram(
+                "resilience_backoff_seconds", "Virtual backoff spent on plan retries."
+            ),
+        }
+
+    def _inc(self, name: str, amount: float = 1.0, time: float = 0.0) -> None:
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            instrument.inc(amount, time=time)
+
+    def _set(self, name: str, value: float, time: float = 0.0) -> None:
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            instrument.set(value, time=time)
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+    def _rungs(self, service: "StreamQueryService", query: Query) -> list[tuple[str, int | None]]:
+        """``(rung_name, gating_coordinator)`` pairs, most capable first."""
+        rungs: list[tuple[str, int | None]] = []
+        hierarchy = service.hierarchy
+        if hierarchy is None:
+            rungs.append(("hierarchical", None))
+        else:
+            try:
+                leaf = hierarchy.leaf_cluster(query.sink)
+            except KeyError:
+                leaf = None
+            if leaf is not None:
+                rungs.append(("hierarchical", leaf.coordinator))
+                parent = leaf.parent
+                if parent is not None and parent.coordinator != leaf.coordinator:
+                    rungs.append(("parent", parent.coordinator))
+        rungs.append(("baseline", None))
+        return rungs
+
+    def plan(self, service: "StreamQueryService", query: Query) -> Deployment:
+        """Plan through the ladder; raises :class:`PlanningError` when
+        every rung fails (callers park the query)."""
+        now = service.clock
+        failures: list[str] = []
+        with service.tracer.span("resilient_plan", query=query.name) as span:
+            for rung, coordinator in self._rungs(service, query):
+                if coordinator is not None and not self.breakers.allow(coordinator, now):
+                    failures.append(f"{rung}: circuit open for coordinator {coordinator}")
+                    span.incr("breaker_skips")
+                    continue
+                try:
+                    deployment, attempts = self._attempt(
+                        service, query, rung, coordinator, now
+                    )
+                except ReproError as exc:
+                    failures.append(f"{rung}: {exc}")
+                    continue
+                if coordinator is not None:
+                    self.breakers.record_success(coordinator, now)
+                if rung != "hierarchical":
+                    deployment.stats = {**deployment.stats, "resilience_rung": rung}
+                    self.degraded_queries.add(query.name)
+                    self.fallbacks_total += 1
+                    self._inc("fallbacks", time=now)
+                span.tag(rung=rung, attempts=attempts)
+                return deployment
+            self._quarantine_flapping(service, now)
+            span.tag(outcome="exhausted")
+        raise PlanningError(
+            f"no rung could plan {query.name!r}: " + "; ".join(failures)
+        )
+
+    def _attempt(
+        self,
+        service: "StreamQueryService",
+        query: Query,
+        rung: str,
+        coordinator: int | None,
+        now: float,
+    ) -> tuple[Deployment, int]:
+        """One rung under the retry policy; breaker-feeds every failure."""
+
+        def once(attempt: int) -> Deployment:
+            if coordinator is not None:
+                self._check_coordinator(query, coordinator, now)
+            if rung == "baseline":
+                assert self._fallback is not None, "control is not bound to a service"
+                return self._fallback.plan(query, service.engine.state)
+            deployment, _hit = service.plan(query)
+            return deployment
+
+        def on_retry(attempt: int, error: BaseException, delay: float) -> None:
+            self.retries_total += 1
+            self._inc("retries", time=now)
+            backoff = self._instruments.get("backoff")
+            if backoff is not None:
+                backoff.observe(delay, time=now)
+            if coordinator is not None:
+                self._record_failure(coordinator, now)
+
+        try:
+            deployment, attempts, _spent = self.config.retry.run(
+                once, rng=self.rng, on_retry=on_retry
+            )
+        except ReproError:
+            if coordinator is not None:
+                self._record_failure(coordinator, now)
+            raise
+        return deployment, attempts
+
+    def _record_failure(self, coordinator: int, now: float) -> None:
+        breaker = self.breakers.breaker(coordinator)
+        opens_before = breaker.opened_count
+        breaker.record_failure(now)
+        if breaker.opened_count > opens_before:
+            self._inc("breaker_opens", time=now)
+
+    def _check_coordinator(self, query: Query, coordinator: int, now: float) -> None:
+        """Simulated RPC admission: unreachable/slow coordinators fail."""
+        if self.faults.unreachable(coordinator, now, observer=query.sink):
+            raise CoordinatorUnreachable(
+                f"coordinator {coordinator} is unreachable from sink {query.sink}"
+            )
+        timeout = self.config.retry.attempt_timeout
+        if timeout is not None:
+            latency = self.config.rpc_seconds * self.faults.slowdown(coordinator, now)
+            if latency > timeout:
+                raise CoordinatorTimeout(
+                    f"coordinator {coordinator} answered in {latency:.3f}s "
+                    f"(attempt timeout {timeout:.3f}s)"
+                )
+
+    # ------------------------------------------------------------------
+    # Parking (the resilience retry queue)
+    # ------------------------------------------------------------------
+    def park(
+        self,
+        service: "StreamQueryService",
+        query: Query,
+        lifetime: float | None,
+        reason: str,
+    ) -> ParkedQuery:
+        """Park an un-plannable query until the topology epoch advances."""
+        parked = ParkedQuery(
+            query=query,
+            lifetime=lifetime,
+            epoch=service.topology_epoch,
+            reason=reason,
+        )
+        self.parked[query.name] = parked
+        self.parked_total += 1
+        self._set("parked", float(len(self.parked)), time=service.clock)
+        return parked
+
+    def unpark(self, name: str) -> bool:
+        """Drop a parked query (e.g. explicit retirement)."""
+        found = self.parked.pop(name, None) is not None
+        self._set("parked", float(len(self.parked)))
+        return found
+
+    def readmit_parked(self, service: "StreamQueryService", deployed: list[str]) -> None:
+        """Retry parked queries whose parking epoch has been superseded."""
+        for name, parked in list(self.parked.items()):
+            if service.topology_epoch <= parked.epoch:
+                continue
+            del self.parked[name]
+            try:
+                service._deploy(parked.query, parked.lifetime)
+                deployed.append(name)
+            except PlanningError as exc:
+                self.park(service, parked.query, parked.lifetime, str(exc))
+        self._set("parked", float(len(self.parked)), time=service.clock)
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine_flapping(self, service: "StreamQueryService", now: float) -> None:
+        """Pull flapping coordinators out of the placement candidates."""
+        if service.hierarchy is None:
+            return
+        for node in self.breakers.flapping(self.config.quarantine_after):
+            if node in self.quarantined:
+                continue
+            if not self._in_hierarchy(service, node):
+                continue
+            if len(service.hierarchy.root.subtree_nodes()) <= 1:
+                continue
+            from repro.hierarchy.maintenance import remove_node
+
+            with service.tracer.span("quarantine", node=node):
+                remove_node(service.hierarchy, node)
+            self.quarantined[node] = now + self.config.quarantine_ticks
+            self.quarantined_total += 1
+            service.bump_topology_epoch()
+            self._set("quarantined", float(len(self.quarantined)), time=now)
+
+    def release_quarantined(self, service: "StreamQueryService", now: float) -> list[int]:
+        """Re-admit nodes whose quarantine expired (and are healthy)."""
+        released: list[int] = []
+        for node, until in sorted(self.quarantined.items()):
+            if until > now or node in self.faults.crashed:
+                continue
+            del self.quarantined[node]
+            if service.rejoin_node(node):
+                released.append(node)
+        if released:
+            self._set("quarantined", float(len(self.quarantined)), time=now)
+        return released
+
+    @staticmethod
+    def _in_hierarchy(service: "StreamQueryService", node: int) -> bool:
+        try:
+            service.hierarchy.leaf_cluster(node)
+            return True
+        except KeyError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Fault-event application (service tick hook)
+    # ------------------------------------------------------------------
+    def apply_due_faults(self, service: "StreamQueryService", now: float) -> None:
+        """Apply the injector's due crash/rejoin events to the service."""
+        for kind, payload in self.faults.due_events(now):
+            if kind == "crash":
+                node = payload.node
+                self._inc("faults", time=now)
+                self.faults.crashed.add(node)
+                if not self._can_fail(service, node):
+                    self.faults.note_applied("crash_skipped", now, node=node)
+                    continue
+                with service.tracer.span("fault", kind="crash", node=node):
+                    report = service.handle_node_failure(node)
+                self.faults.note_applied(
+                    "crash",
+                    now,
+                    node=node,
+                    retired=list(report.retired),
+                    lost=list(report.lost),
+                )
+            elif kind == "rejoin":
+                node = payload
+                self._inc("faults", time=now)
+                self.faults.crashed.discard(node)
+                rejoined = node not in self.quarantined and service.rejoin_node(node)
+                self.faults.note_applied("rejoin", now, node=node, rejoined=rejoined)
+
+    def _can_fail(self, service: "StreamQueryService", node: int) -> bool:
+        if service.hierarchy is None or not self._in_hierarchy(service, node):
+            return False
+        return len(service.hierarchy.root.subtree_nodes()) > 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Resilience counters for reports and the chaos CLI."""
+        return {
+            "retries": self.retries_total,
+            "fallbacks": self.fallbacks_total,
+            "breaker_opens": self.breakers.total_opens(),
+            "open_breakers": self.breakers.open_nodes(),
+            "parked_now": sorted(self.parked),
+            "parked_total": self.parked_total,
+            "quarantined_now": sorted(self.quarantined),
+            "quarantined_total": self.quarantined_total,
+            "degraded_queries": sorted(self.degraded_queries),
+        }

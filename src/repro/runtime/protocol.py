@@ -21,14 +21,27 @@ Top-Down therefore pays one coordinator round per hierarchy level on
 every query, while Bottom-Up's trace stops climbing as soon as all
 sources are local -- the mechanism behind the paper's ~70% deployment
 time advantage for Bottom-Up.
+
+Under fault injection (pass a :class:`~repro.resilience.faults.FaultInjector`)
+the protocol becomes *reliable*: delivery is tracked per message
+identity, receivers deduplicate and re-acknowledge duplicates, and
+senders retransmit at the retry policy's backoff intervals until the
+protocol goal registers -- so a deployment completes (later) through a
+message storm instead of hanging.  With the default
+:data:`~repro.resilience.faults.NULL_FAULTS`, no retransmission
+machinery is scheduled and the timeline is identical to the pre-fault
+implementation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.network.graph import Network
 from repro.query.deployment import Deployment
+from repro.resilience.faults import NULL_FAULTS
+from repro.resilience.policy import RetryPolicy
 from repro.runtime.messages import DeployAck, DeployCommand, PlanRequest, QuerySubmit
 from repro.runtime.simulator import SimNode, Simulator
 
@@ -51,6 +64,8 @@ class DeploymentTimeline:
         messages: Protocol messages delivered.
         tasks: Number of planning tasks replayed.
         operators_deployed: Deploy commands issued.
+        retransmissions: Messages re-sent by the reliable-delivery layer
+            (0 without fault injection).
     """
 
     query_name: str
@@ -60,6 +75,7 @@ class DeploymentTimeline:
     messages: int
     tasks: int
     operators_deployed: int
+    retransmissions: int = 0
 
     @property
     def duration(self) -> float:
@@ -74,7 +90,13 @@ class _TaskDone:
 
 
 class _Context:
-    def __init__(self, deployment: Deployment, seconds_per_plan: float) -> None:
+    def __init__(
+        self,
+        deployment: Deployment,
+        seconds_per_plan: float,
+        faults=NULL_FAULTS,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         trace = deployment.stats.get("task_trace")
         if not trace:
             raise ValueError(
@@ -84,6 +106,15 @@ class _Context:
         self.query = deployment.query
         self.trace = trace
         self.seconds_per_plan = seconds_per_plan
+        self.faults = faults
+        # Cumulative retransmission offsets (virtual seconds after the
+        # first send).  Empty without faults: no retransmit machinery.
+        self.retry_offsets: list[float] = []
+        if faults.enabled and retry is not None:
+            offset = 0.0
+            for delay in retry.delays():
+                offset += delay
+                self.retry_offsets.append(offset)
         self.children: dict[int, list[int]] = {i: [] for i in range(len(trace))}
         for idx, entry in enumerate(trace):
             parent = entry["parent"]
@@ -91,11 +122,22 @@ class _Context:
                 self.children[parent].append(idx)
         self.expected_acks = sum(len(e.get("deploy_nodes", ())) for e in trace)
         self.expected_tasks = len(trace)
-        self.acks = 0
-        self.tasks_done = 0
+        # Delivery is tracked by message identity (sets), so injected
+        # duplicates cannot double-count toward completion.
+        self.acked: set[tuple[str, int]] = set()
+        self.tasks_done: set[int] = set()
+        self.started: set[int] = set()
+        self.retransmissions = 0
         self.finish_time: float | None = None
         self.compute_seconds = sum(
             e["plans"] * seconds_per_plan for e in trace
+        )
+
+    @property
+    def complete(self) -> bool:
+        return (
+            len(self.acked) >= self.expected_acks
+            and len(self.tasks_done) >= self.expected_tasks
         )
 
 
@@ -106,43 +148,79 @@ class _ProtocolActor(SimNode):
         super().__init__(node_id)
         self.ctx = ctx
 
+    def _reliable_send(self, dst: int, message, delivered: Callable[[], bool]) -> None:
+        """Send now; under faults, retransmit at the retry offsets until
+        ``delivered()`` reports the protocol goal registered."""
+        self.send(dst, message)
+        for offset in self.ctx.retry_offsets:
+
+            def maybe_resend() -> None:
+                if not delivered():
+                    self.ctx.retransmissions += 1
+                    self.send(dst, message)
+
+            self.sim.schedule(offset, maybe_resend)
+
     def on_message(self, src: int, message) -> None:
         assert self.sim is not None
+        ctx = self.ctx
         if isinstance(message, (QuerySubmit, PlanRequest)):
             task_index = 0 if isinstance(message, QuerySubmit) else message.task_index
-            entry = self.ctx.trace[task_index]
-            compute = entry["plans"] * self.ctx.seconds_per_plan
+            if task_index in ctx.started:
+                return  # duplicate request; the task is already running
+            ctx.started.add(task_index)
+            entry = ctx.trace[task_index]
+            compute = (
+                entry["plans"]
+                * ctx.seconds_per_plan
+                * ctx.faults.slowdown(self.node_id, self.sim.now)
+            )
 
             def finish_planning() -> None:
-                for child in self.ctx.children[task_index]:
-                    self.send(
-                        self.ctx.trace[child]["node"],
-                        PlanRequest(self.ctx.query.name, child),
+                for child in ctx.children[task_index]:
+                    self._reliable_send(
+                        ctx.trace[child]["node"],
+                        PlanRequest(ctx.query.name, child),
+                        delivered=lambda c=child: c in ctx.started,
                     )
-                for op_node in entry.get("deploy_nodes", ()):
-                    self.send(
+                for j, op_node in enumerate(entry.get("deploy_nodes", ())):
+                    label = f"task{task_index}.{j}"
+                    self._reliable_send(
                         op_node,
-                        DeployCommand(self.ctx.query.name, f"task{task_index}"),
+                        DeployCommand(ctx.query.name, label),
+                        delivered=lambda key=(label, op_node): key in ctx.acked,
                     )
-                self.send(self.ctx.query.sink, _TaskDone(self.ctx.query.name, task_index))
+                self._reliable_send(
+                    ctx.query.sink,
+                    _TaskDone(ctx.query.name, task_index),
+                    delivered=lambda t=task_index: t in ctx.tasks_done,
+                )
 
             self.sim.schedule(compute, finish_planning)
         elif isinstance(message, DeployCommand):
             # Operator instantiation is local and fast; ack to the sink.
-            self.send(self.ctx.query.sink, DeployAck(message.query_name, message.operator_label))
+            # Duplicated commands re-ack -- the earlier ack may have been
+            # lost, and acks are identity-deduplicated at the sink.
+            self.send(
+                ctx.query.sink, DeployAck(message.query_name, message.operator_label)
+            )
         elif isinstance(message, (DeployAck, _TaskDone)):
             if isinstance(message, DeployAck):
-                self.ctx.acks += 1
+                ctx.acked.add((message.operator_label, src))
             else:
-                self.ctx.tasks_done += 1
-            if (
-                self.ctx.acks >= self.ctx.expected_acks
-                and self.ctx.tasks_done >= self.ctx.expected_tasks
-            ):
-                if self.ctx.finish_time is None:
-                    self.ctx.finish_time = self.sim.now
+                ctx.tasks_done.add(message.task_index)
+            if ctx.complete and ctx.finish_time is None:
+                ctx.finish_time = self.sim.now
         else:  # pragma: no cover - defensive
             raise TypeError(f"unexpected message {message!r}")
+
+
+#: Default retransmission policy for fault-injected protocol runs:
+#: deterministic (no jitter), enough attempts to ride out a storm.
+PROTOCOL_RETRY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=1.0,
+    jitter=0.0, attempt_timeout=None,
+)
 
 
 def simulate_deployment(
@@ -150,6 +228,8 @@ def simulate_deployment(
     deployment: Deployment,
     seconds_per_plan: float = DEFAULT_SECONDS_PER_PLAN,
     start_time: float = 0.0,
+    faults=NULL_FAULTS,
+    retry: RetryPolicy | None = None,
 ) -> DeploymentTimeline:
     """Replay a deployment's planning protocol; return its timeline.
 
@@ -159,12 +239,22 @@ def simulate_deployment(
             (its stats must carry a ``task_trace``).
         seconds_per_plan: Coordinator search speed.
         start_time: Virtual submission time.
+        faults: Fault injector; its message middleware is installed on
+            the simulator and coordinator slow-downs stretch compute
+            time.  :data:`NULL_FAULTS` (the default) leaves the
+            simulation byte-identical to a fault-free build.
+        retry: Retransmission policy under faults
+            (:data:`PROTOCOL_RETRY` when omitted).  Ignored without
+            fault injection.
 
     Raises:
         ValueError: If the deployment carries no task trace.
     """
-    ctx = _Context(deployment, seconds_per_plan)
+    if faults.enabled and retry is None:
+        retry = PROTOCOL_RETRY
+    ctx = _Context(deployment, seconds_per_plan, faults=faults, retry=retry)
     sim = Simulator(network)
+    faults.install(sim)
     for node in network.nodes():
         sim.register(_ProtocolActor(node, ctx))
     sim.now = start_time
@@ -189,8 +279,15 @@ def simulate_deployment(
         ),
     )
     sim.run()
-    if ctx.finish_time is None:  # pragma: no cover - defensive
-        raise RuntimeError("protocol simulation never completed")
+    if ctx.finish_time is None:
+        raise RuntimeError(
+            "protocol simulation never completed"
+            + (
+                " (fault injection exhausted the retransmission budget)"
+                if faults.enabled
+                else ""
+            )
+        )
     return DeploymentTimeline(
         query_name=deployment.query.name,
         submit_time=start_time,
@@ -199,4 +296,5 @@ def simulate_deployment(
         messages=sim.messages_delivered,
         tasks=ctx.expected_tasks,
         operators_deployed=ctx.expected_acks,
+        retransmissions=ctx.retransmissions,
     )

@@ -5,6 +5,11 @@ The simulator advances a virtual clock through an event queue.  Nodes
 network's shortest-path one-way delay between the sender and receiver,
 plus an optional per-message transmission time -- the same 1-60 ms link
 delays the paper's Emulab topology configures.
+
+Send *middleware* (see :meth:`Simulator.add_send_middleware`) lets a
+fault injector intercept every message and drop, delay or duplicate it.
+With no middleware registered (the default), :meth:`Simulator.send`
+takes the exact pre-middleware fast path, byte for byte.
 """
 
 from __future__ import annotations
@@ -29,6 +34,23 @@ class Simulator:
         self._queue = EventQueue()
         self._nodes: dict[int, "SimNode"] = {}
         self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self._middleware: list[Callable[[int, int, Any, float], tuple | None]] = []
+
+    def add_send_middleware(
+        self, middleware: Callable[[int, int, Any, float], tuple | None]
+    ) -> None:
+        """Register a send interceptor.
+
+        ``middleware(src, dst, message, now)`` runs on every
+        :meth:`send` and returns an action: ``None`` (deliver normally),
+        ``("drop",)`` (lose the message), ``("delay", extra_seconds)``
+        (deliver late) or ``("duplicate", extra_delay)`` (deliver twice,
+        the copy ``extra_delay`` later).  The first middleware returning
+        a non-``None`` action wins.
+        """
+        self._middleware.append(middleware)
 
     def register(self, node: "SimNode") -> None:
         """Attach a node actor to the simulation."""
@@ -57,6 +79,23 @@ class Simulator:
             self.messages_delivered += 1
             self._nodes[dst].on_message(src, message)
 
+        if self._middleware:
+            for middleware in self._middleware:
+                action = middleware(src, dst, message, self.now)
+                if action is None:
+                    continue
+                kind = action[0]
+                if kind == "drop":
+                    self.messages_dropped += 1
+                    return
+                if kind == "delay":
+                    extra_delay += float(action[1])
+                elif kind == "duplicate":
+                    self.messages_duplicated += 1
+                    self.schedule(delay + extra_delay + float(action[1]), deliver)
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown middleware action {action!r}")
+                break
         self.schedule(delay + extra_delay, deliver)
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:

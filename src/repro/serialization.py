@@ -252,3 +252,65 @@ def explanation_from_json(text: str) -> PlanExplanation:
     if doc.get("kind") != "repro.explanation":
         raise ValueError(f"not a serialized explanation: kind={doc.get('kind')!r}")
     return PlanExplanation.from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+# Resilience: fault plans and failure reports
+# ----------------------------------------------------------------------
+def fault_plan_to_json(plan) -> str:
+    """Serialize a :class:`repro.resilience.faults.FaultPlan`."""
+    doc = {
+        "kind": "repro.fault_plan",
+        "version": FORMAT_VERSION,
+        **plan.to_dict(),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def fault_plan_from_json(text: str):
+    """Rebuild a fault plan serialized by :func:`fault_plan_to_json`."""
+    from repro.resilience.faults import FaultPlan
+
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.fault_plan":
+        raise ValueError(f"not a serialized fault plan: kind={doc.get('kind')!r}")
+    return FaultPlan.from_dict(doc)
+
+
+def failure_report_to_json(report) -> str:
+    """Serialize a :class:`repro.runtime.failover.FailureReport`."""
+    doc = {
+        "kind": "repro.failure_report",
+        "version": FORMAT_VERSION,
+        "node": report.node,
+        "coordinator_roles": list(report.coordinator_roles),
+        "new_coordinators": {
+            str(level): coord for level, coord in sorted(report.new_coordinators.items())
+        },
+        "affected_queries": list(report.affected_queries),
+        "redeployed": list(report.redeployed),
+        "failed_queries": list(report.failed_queries),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def failure_report_from_json(text: str):
+    """Rebuild a failure report serialized by :func:`failure_report_to_json`."""
+    from repro.runtime.failover import FailureReport
+
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.failure_report":
+        raise ValueError(
+            f"not a serialized failure report: kind={doc.get('kind')!r}"
+        )
+    return FailureReport(
+        node=doc["node"],
+        coordinator_roles=list(doc.get("coordinator_roles", [])),
+        new_coordinators={
+            int(level): coord
+            for level, coord in doc.get("new_coordinators", {}).items()
+        },
+        affected_queries=list(doc.get("affected_queries", [])),
+        redeployed=list(doc.get("redeployed", [])),
+        failed_queries=list(doc.get("failed_queries", [])),
+    )

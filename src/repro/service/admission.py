@@ -15,6 +15,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass
 
+from repro.errors import AdmissionError
 from repro.query.query import Query
 
 
@@ -72,11 +73,11 @@ class AdmissionController:
         max_per_tick: int | None = None,
     ) -> None:
         if budget < 1:
-            raise ValueError("budget must be >= 1")
+            raise AdmissionError("budget must be >= 1")
         if max_queue is not None and max_queue < 0:
-            raise ValueError("max_queue must be >= 0")
+            raise AdmissionError("max_queue must be >= 0")
         if max_per_tick is not None and max_per_tick < 1:
-            raise ValueError("max_per_tick must be >= 1")
+            raise AdmissionError("max_per_tick must be >= 1")
         self.budget = budget
         self.max_queue = max_queue
         self.max_per_tick = max_per_tick

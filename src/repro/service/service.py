@@ -40,6 +40,7 @@ from typing import Iterable, Sequence
 
 from repro.core.cost import RateModel
 from repro.core.optimizer import Optimizer
+from repro.errors import HierarchyError, PlanningError, UnknownQueryError
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.network.graph import Network
@@ -47,6 +48,8 @@ from repro.obs.metrics import MetricRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.query.deployment import Deployment
 from repro.query.query import Query
+from repro.resilience.degradation import ResilienceConfig, ResilientControl
+from repro.resilience.faults import NULL_FAULTS
 from repro.runtime.engine import FlowEngine
 from repro.runtime.metrics import MetricsLog
 from repro.service.admission import (
@@ -82,6 +85,7 @@ class TickReport:
     time: float
     deployed: list[str] = field(default_factory=list)
     retired: list[str] = field(default_factory=list)
+    parked: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -140,6 +144,15 @@ class StreamQueryService:
             When enabled it is also installed on the optimizer (if the
             optimizer has no tracer of its own) and the ads index, so
             one service-level span tree covers planning end to end.
+        resilience: Optional :class:`ResilienceConfig` turning on the
+            resilience layer (retries, circuit breakers, degradation
+            ladder, parking, quarantine).  With ``None`` (the default)
+            planning behaves exactly as before the layer existed.
+        faults: Fault injector whose scripted events the service applies
+            on :meth:`tick` (crashes, rejoins, outage/slow-down/stale
+            windows).  Defaults to the no-op :data:`NULL_FAULTS`;
+            passing a real injector implicitly enables the resilience
+            layer with default tuning if ``resilience`` was omitted.
     """
 
     def __init__(
@@ -154,6 +167,8 @@ class StreamQueryService:
         metrics: MetricsLog | None = None,
         registry: MetricRegistry | None = None,
         tracer: Tracer | None = None,
+        resilience: ResilienceConfig | None = None,
+        faults=None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
@@ -226,6 +241,16 @@ class StreamQueryService:
             "Nominal plan/placement combinations examined by the optimizer.",
         )
 
+        # Resilience layer.  Instruments and hooks exist only when the
+        # layer is on, so default-configured services stay byte-identical.
+        self.faults = faults if faults is not None else NULL_FAULTS
+        self.resilience: ResilientControl | None = None
+        if resilience is None and self.faults.enabled:
+            resilience = ResilienceConfig()
+        if resilience is not None:
+            self.resilience = ResilientControl(resilience, self.faults)
+            self.resilience.bind(self)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -286,8 +311,12 @@ class StreamQueryService:
 
     def _refresh_epochs(self) -> None:
         if self.rates.version != self._rates_version:
-            self._rates_version = self.rates.version
-            self.bump_statistics_epoch()
+            # During an injected stale-statistics window the control
+            # plane must keep planning against what it last observed;
+            # the epoch bump happens at the first refresh past the window.
+            if not self.faults.statistics_frozen(self.clock):
+                self._rates_version = self.rates.version
+                self.bump_statistics_epoch()
         if self.network.version != self._network_version:
             self._network_version = self.network.version
             self.engine.refresh_network(self.clock)
@@ -324,7 +353,19 @@ class StreamQueryService:
             if decision is None:
                 decision = self.admission.request(query, len(self._live_names()))
                 if decision.status is AdmissionStatus.ADMITTED:
-                    self._deploy(query, lifetime)
+                    if self.resilience is not None:
+                        try:
+                            self._deploy(query, lifetime)
+                        except PlanningError as exc:
+                            self.resilience.park(self, query, lifetime, str(exc))
+                            decision = AdmissionDecision(
+                                query=query.name,
+                                status=AdmissionStatus.QUEUED,
+                                reason=f"parked: {exc}",
+                            )
+                            span.incr("parked")
+                    else:
+                        self._deploy(query, lifetime)
                 elif decision.status is AdmissionStatus.QUEUED:
                     self._pending_lifetimes[query.name] = lifetime
             span.tag(decision=decision.status.value)
@@ -350,6 +391,11 @@ class StreamQueryService:
             return self.admission.reject(
                 query, f"sink {query.sink} is not a network node"
             )
+        if self.resilience is not None and self.hierarchy is not None:
+            if query.sink not in self.hierarchy.root.subtree_nodes():
+                return self.admission.reject(
+                    query, f"sink {query.sink} is not a live hierarchy node"
+                )
         return None
 
     def tick(self, time: float | None = None) -> TickReport:
@@ -361,6 +407,9 @@ class StreamQueryService:
         """
         now = float(time) if time is not None else self.engine.clock + 1.0
         self.engine.clock = now
+        if self.resilience is not None:
+            self.resilience.apply_due_faults(self, now)
+            self.resilience.release_quarantined(self, now)
         self._refresh_epochs()
         report = TickReport(time=now)
 
@@ -370,26 +419,41 @@ class StreamQueryService:
 
         for query in self.admission.drain(len(self._live_names())):
             lifetime = self._pending_lifetimes.pop(query.name, None)
-            self._deploy(query, lifetime)
+            if self.resilience is not None:
+                try:
+                    self._deploy(query, lifetime)
+                except PlanningError as exc:
+                    self.resilience.park(self, query, lifetime, str(exc))
+                    report.parked.append(query.name)
+                    continue
+            else:
+                self._deploy(query, lifetime)
             report.deployed.append(query.name)
 
+        if self.resilience is not None:
+            self.resilience.readmit_parked(self, report.deployed)
         self._record_gauges()
         return report
 
     def retire(self, name: str) -> bool:
         """Retire a query by name (deployed or still queued).
 
-        Returns ``True`` if it was deployed, ``False`` if only queued.
+        Returns ``True`` if it was deployed, ``False`` if only queued
+        (or parked by the resilience layer).
 
         Raises:
-            KeyError: The name is neither deployed nor queued.
+            UnknownQueryError: The name is neither deployed, queued nor
+                parked (also catchable as ``KeyError``).
         """
         if self.admission.withdraw(name):
             self._pending_lifetimes.pop(name, None)
             self._record_gauges()
             return False
+        if self.resilience is not None and self.resilience.unpark(name):
+            self._record_gauges()
+            return False
         if not self.is_live(name):
-            raise KeyError(f"query {name!r} is neither deployed nor queued")
+            raise UnknownQueryError(f"query {name!r} is neither deployed nor queued")
         self._retire_live(name)
         self._record_gauges()
         return True
@@ -404,10 +468,11 @@ class StreamQueryService:
         subject to the same backpressure as any other load spike.
 
         Raises:
-            ValueError: The service was built without a hierarchy.
+            HierarchyError: The service was built without a hierarchy
+                (also catchable as ``ValueError``).
         """
         if self.hierarchy is None:
-            raise ValueError("handle_node_failure requires a hierarchy")
+            raise HierarchyError("handle_node_failure requires a hierarchy")
         from repro.runtime.failover import fail_node
 
         with self.tracer.span("node_failure", node=node) as span:
@@ -452,6 +517,33 @@ class StreamQueryService:
             span.incr("queries_lost", len(report.lost))
             self._record_gauges()
         return report
+
+    def rejoin_node(self, node: int) -> bool:
+        """Re-admit a node into the hierarchy (recovery or end of
+        quarantine).
+
+        The node must still be a network member and not currently in
+        the hierarchy.  Returns ``True`` when the hierarchy changed (the
+        topology epoch is bumped so stale cached plans die and parked
+        queries get retried).
+
+        Raises:
+            HierarchyError: The service was built without a hierarchy.
+        """
+        if self.hierarchy is None:
+            raise HierarchyError("rejoin_node requires a hierarchy")
+        if not self.network.has_node(node):
+            return False
+        from repro.hierarchy.maintenance import add_node
+
+        try:
+            # Seeded by the node id: any split the insertion triggers is
+            # reproducible across same-plan chaos runs.
+            add_node(self.hierarchy, node, seed=node)
+        except ValueError:
+            return False  # already a member
+        self.bump_topology_epoch()
+        return True
 
     # ------------------------------------------------------------------
     # Planning
@@ -598,6 +690,9 @@ class StreamQueryService:
                 "final_live": len(self._live_names()),
             },
         )
+        if self.resilience is not None:
+            report.summary["resilience"] = self.resilience.summary()
+            report.summary["faults"] = self.faults.summary()
         return report
 
     # ------------------------------------------------------------------
@@ -607,7 +702,10 @@ class StreamQueryService:
         return self.live_queries
 
     def _deploy(self, query: Query, lifetime: float | None) -> None:
-        deployment, _hit = self.plan(query)
+        if self.resilience is not None:
+            deployment = self.resilience.plan(self, query)
+        else:
+            deployment, _hit = self.plan(query)
         self.engine.deploy(deployment, time=self.clock)
         if self.ads is not None:
             self.ads.sync_from_state(self.engine.state)

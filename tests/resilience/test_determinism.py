@@ -1,0 +1,79 @@
+"""Same seed, same chaos: two runs must match event for event."""
+
+import repro
+from repro.resilience import FaultInjector, FaultPlan, ResilienceConfig
+from repro.service import AdmissionController, StreamQueryService, churn_trace
+
+DURATION = 30.0
+
+
+def run_chaos(seed=13):
+    """One full chaos run; returns everything observable about it."""
+    net = repro.transit_stub_by_size(32, seed=seed)
+    hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+    workload = repro.generate_workload(
+        net,
+        repro.WorkloadParams(num_streams=6, num_queries=8, joins_per_query=(1, 3)),
+        seed=seed + 1,
+    )
+    rates = workload.rate_model()
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.TopDownOptimizer(hierarchy, rates, ads=ads)
+    protected = {spec.source for spec in rates.streams.values()}
+    protected |= {q.sink for q in workload}
+    plan = FaultPlan.generate(
+        net.nodes(), seed=seed, duration=DURATION, protected=protected
+    )
+    faults = FaultInjector(plan)
+    service = StreamQueryService(
+        optimizer,
+        net,
+        rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=AdmissionController(budget=6),
+        resilience=ResilienceConfig(),
+        faults=faults,
+    )
+    events = sorted(
+        churn_trace(workload, lifetime=4.0, repeats=2), key=lambda e: e.time
+    )
+    tick_reports = []
+    decisions = []
+    clock = 0.0
+    i = 0
+    while clock < DURATION:
+        clock += 1.0
+        tick_reports.append(service.tick(clock))
+        while i < len(events) and events[i].time <= clock:
+            decisions.append(service.submit(events[i].query, lifetime=events[i].lifetime))
+            i += 1
+    return {
+        "plan": plan.to_dict(),
+        "tick_reports": tick_reports,
+        "decisions": decisions,
+        "applied": faults.applied,
+        "fault_summary": faults.summary(),
+        "resilience_summary": service.resilience.summary(),
+        "final_cost": service.total_cost(),
+        "live": sorted(service.live_queries),
+        "epochs": (service.statistics_epoch, service.topology_epoch),
+        "hierarchy_violations": service.hierarchy.invariant_violations(),
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_runs_are_identical(self):
+        a = run_chaos(seed=13)
+        b = run_chaos(seed=13)
+        assert a == b
+
+    def test_chaos_run_ends_consistent(self):
+        result = run_chaos(seed=13)
+        assert result["hierarchy_violations"] == []
+        assert result["fault_summary"]["events_applied"] > 0
+
+    def test_different_seeds_diverge(self):
+        a = run_chaos(seed=13)
+        b = run_chaos(seed=14)
+        assert a["plan"] != b["plan"]

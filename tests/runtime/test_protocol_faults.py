@@ -1,0 +1,72 @@
+"""The deployment protocol under injected message faults."""
+
+import pytest
+
+from repro.core import TopDownOptimizer
+from repro.hierarchy import build_hierarchy
+from repro.network.topology import transit_stub_by_size
+from repro.resilience import FaultInjector, FaultPlan, RetryPolicy
+from repro.resilience.faults import MessageStorm
+from repro.runtime import simulate_deployment
+from repro.workload import WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = transit_stub_by_size(32, seed=2)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=8, num_queries=6, joins_per_query=(1, 4)),
+        seed=3,
+    )
+    rates = workload.rate_model()
+    hierarchy = build_hierarchy(net, max_cs=4, seed=0)
+    deployment = TopDownOptimizer(hierarchy, rates).plan(workload.queries[0])
+    return net, deployment
+
+
+def storm_injector(drop=0.4, duplicate=0.2, seed=5):
+    return FaultInjector(
+        FaultPlan(
+            [MessageStorm(time=0.0, duration=10_000.0, drop=drop, duplicate=duplicate)],
+            seed=seed,
+        )
+    )
+
+
+class TestProtocolUnderStorm:
+    def test_completes_despite_drops_with_retransmissions(self, env):
+        net, deployment = env
+        clean = simulate_deployment(net, deployment)
+        faults = storm_injector()
+        stormy = simulate_deployment(net, deployment, faults=faults)
+        assert stormy.retransmissions > 0
+        assert faults.messages_dropped > 0
+        # identity-deduplicated completion: same goal state, just later
+        assert stormy.tasks == clean.tasks
+        assert stormy.operators_deployed == clean.operators_deployed
+        assert stormy.duration >= clean.duration
+
+    def test_duplicates_do_not_complete_early(self, env):
+        net, deployment = env
+        clean = simulate_deployment(net, deployment)
+        faults = storm_injector(drop=0.0, duplicate=0.9)
+        noisy = simulate_deployment(net, deployment, faults=faults)
+        assert faults.messages_duplicated > 0
+        # duplicated acks never shortcut the protocol goal
+        assert noisy.duration >= clean.duration
+        assert noisy.tasks == clean.tasks
+
+    def test_same_seed_same_timeline(self, env):
+        net, deployment = env
+        mild = lambda: storm_injector(drop=0.2, duplicate=0.1, seed=7)  # noqa: E731
+        a = simulate_deployment(net, deployment, faults=mild())
+        b = simulate_deployment(net, deployment, faults=mild())
+        assert a == b
+
+    def test_hopeless_storm_raises_instead_of_hanging(self, env):
+        net, deployment = env
+        faults = storm_injector(drop=1.0, duplicate=0.0)
+        retry = RetryPolicy(max_attempts=2, base_delay=0.01, jitter=0.0)
+        with pytest.raises(RuntimeError, match="retransmission budget"):
+            simulate_deployment(net, deployment, faults=faults, retry=retry)
