@@ -64,10 +64,25 @@ from repro.baselines import (
     RelaxationPlanner,
 )
 from repro.workload import (
+    DriftTimeline,
+    PeriodicDrift,
+    RampDrift,
+    StepDrift,
     Workload,
     WorkloadParams,
     airline_ois_scenario,
+    drift_timeline,
     generate_workload,
+)
+from repro.adaptive import (
+    AdaptivityConfig,
+    AdaptivityLoop,
+    MigrationDiff,
+    MigrationOutcome,
+    Migrator,
+    ReoptPolicy,
+    StatsMonitor,
+    diff_deployments,
 )
 from repro.obs import (
     Counter,
@@ -184,6 +199,20 @@ __all__ = [
     "WorkloadParams",
     "generate_workload",
     "airline_ois_scenario",
+    "DriftTimeline",
+    "StepDrift",
+    "RampDrift",
+    "PeriodicDrift",
+    "drift_timeline",
+    # adaptivity
+    "AdaptivityConfig",
+    "AdaptivityLoop",
+    "StatsMonitor",
+    "ReoptPolicy",
+    "MigrationDiff",
+    "MigrationOutcome",
+    "Migrator",
+    "diff_deployments",
     # runtime
     "Simulator",
     "simulate_deployment",

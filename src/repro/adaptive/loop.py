@@ -1,0 +1,308 @@
+"""The closed adaptivity loop: observe -> decide -> migrate, per tick.
+
+:class:`AdaptivityLoop` is the piece that wires the adaptive subsystem
+into :class:`~repro.service.service.StreamQueryService`.  Construction
+follows the house pattern for optional layers (resilience, tracing,
+fault injection): the service takes ``adaptivity=None`` by default and
+builds a loop only when handed an :class:`AdaptivityConfig` -- with
+``None`` no monitor, no instruments and no tick hook exist, and service
+behavior is byte-identical to a build without the subsystem.
+
+Each service tick the loop:
+
+1. runs one drift check (:meth:`StatsMonitor.maybe_publish`) -- unless
+   an injected stale-statistics window freezes the control plane's view;
+   a publication bumps the shared rate model, re-prices the engine's
+   live flows (``refresh_rates``) and fires the statistics epoch so
+   cached plans die;
+2. when statistics or topology changed since the last converged pass,
+   re-evaluates every deployed query through the
+   :class:`~repro.adaptive.policy.ReoptPolicy` (respecting a per-query
+   migration cooldown);
+3. executes approved migrations through the
+   :class:`~repro.adaptive.migrate.Migrator`, bounded per tick, each
+   atomic with rollback.
+
+The loop keeps re-evaluating on subsequent ticks until a pass migrates
+nothing (convergence), then goes quiet until the next epoch change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.adaptive.migrate import MigrationOutcome, Migrator
+from repro.adaptive.policy import ReoptConfig, ReoptDecision, ReoptPolicy
+from repro.adaptive.stats import DriftEvent, StatsMonitor
+
+
+@dataclass(frozen=True)
+class AdaptivityConfig:
+    """Tuning knobs of the whole control loop.
+
+    Attributes:
+        alpha: EWMA smoothing factor of the statistics estimators.
+        drift_threshold: Relative rate change that counts as drift.
+        hysteresis_ticks: Consecutive breaching ticks before publishing.
+        publish_cooldown: Minimum ticks between statistics publications.
+        horizon: Unit times a migration's saving is amortized over.
+        min_relative_gain: Relative cost gain floor for migrating.
+        bytes_per_tuple: Window-state tuple size (transfer pricing).
+        max_migrations_per_tick: Migration budget per service tick.
+        query_cooldown: Ticks a migrated (or aborted) query is left
+            alone before being reconsidered.
+        simulate_cutover: Replay the cutover protocol on the simulator
+            (off: apply the swap directly; unit-test use).
+        drain_seconds: Pause-drain time per operator in the cutover.
+        seconds_per_byte: State-transfer transmission speed.
+    """
+
+    alpha: float = 0.3
+    drift_threshold: float = 0.2
+    hysteresis_ticks: int = 2
+    publish_cooldown: float = 5.0
+    horizon: float = 20.0
+    min_relative_gain: float = 0.05
+    bytes_per_tuple: float = 64.0
+    max_migrations_per_tick: int = 2
+    query_cooldown: float = 10.0
+    simulate_cutover: bool = True
+    drain_seconds: float = 0.01
+    seconds_per_byte: float = 1e-6
+
+    def reopt(self) -> ReoptConfig:
+        """The policy's slice of the knobs."""
+        return ReoptConfig(
+            horizon=self.horizon,
+            min_relative_gain=self.min_relative_gain,
+            bytes_per_tuple=self.bytes_per_tuple,
+        )
+
+
+@dataclass
+class AdaptiveTickReport:
+    """What one adaptivity step observed and did."""
+
+    time: float
+    drift: DriftEvent | None = None
+    evaluated: int = 0
+    decisions: list[ReoptDecision] = field(default_factory=list)
+    migrations: list[MigrationOutcome] = field(default_factory=list)
+
+    @property
+    def committed(self) -> list[MigrationOutcome]:
+        """Migrations that actually swapped deployments."""
+        return [m for m in self.migrations if m.committed]
+
+    @property
+    def aborted(self) -> list[MigrationOutcome]:
+        """Migrations the cutover (or install) aborted."""
+        return [m for m in self.migrations if not m.committed]
+
+
+class AdaptivityLoop:
+    """Owns the monitor, policy and migrator for one service.
+
+    Built by :class:`~repro.service.service.StreamQueryService` when an
+    :class:`AdaptivityConfig` is passed; :meth:`bind` attaches it to the
+    service's rate model, optimizer, fault injector and metric registry.
+    """
+
+    def __init__(self, config: AdaptivityConfig) -> None:
+        self.config = config
+        self.monitor: StatsMonitor | None = None
+        self.policy: ReoptPolicy | None = None
+        self.migrator: Migrator | None = None
+        self.reports: list[AdaptiveTickReport] = []
+        self._last_migration: dict[str, float] = {}
+        self._dirty = False
+        self._seen_topology = 0
+        self._instruments: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def bind(self, service) -> None:
+        """Attach to a service (called from the service constructor)."""
+        cfg = self.config
+        self.monitor = StatsMonitor(
+            service.rates,
+            alpha=cfg.alpha,
+            drift_threshold=cfg.drift_threshold,
+            hysteresis_ticks=cfg.hysteresis_ticks,
+            publish_cooldown=cfg.publish_cooldown,
+        )
+        self.policy = ReoptPolicy(cfg.reopt(), service.optimizer, service.rates)
+        self.migrator = Migrator(
+            service.network,
+            faults=service.faults,
+            drain_seconds=cfg.drain_seconds,
+            seconds_per_byte=cfg.seconds_per_byte,
+            simulate=cfg.simulate_cutover,
+        )
+        self._seen_topology = service.topology_epoch
+        reg = service.registry
+        self._instruments = {
+            "drift_events": reg.counter(
+                "adaptive_drift_events_total",
+                "Statistics publications triggered by observed drift.",
+            ),
+            "streams_published": reg.counter(
+                "adaptive_streams_published_total",
+                "Streams whose rate was re-published on drift.",
+            ),
+            "evaluations": reg.counter(
+                "adaptive_reopt_evaluations_total",
+                "Deployed queries evaluated by the re-optimization policy.",
+            ),
+            "migrations": reg.counter(
+                "adaptive_migrations_total", "Migrations committed."
+            ),
+            "aborts": reg.counter(
+                "adaptive_migration_aborts_total",
+                "Migrations aborted (incomplete cutover or rolled back).",
+            ),
+            "operators_moved": reg.counter(
+                "adaptive_operators_moved_total",
+                "Operators that changed nodes in committed migrations.",
+            ),
+            "bytes_moved": reg.counter(
+                "adaptive_state_bytes_total",
+                "Window-state bytes shipped by committed migrations.",
+            ),
+            "saving": reg.gauge(
+                "adaptive_cost_saving",
+                "Cost/unit-time saved by the most recent committed migration.",
+            ),
+            "cutover_seconds": reg.histogram(
+                "adaptive_cutover_seconds",
+                "Virtual duration of committed cutovers.",
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Observation passthroughs (feed the monitor from the dataplane)
+    # ------------------------------------------------------------------
+    def observe_rate(self, stream: str, rate: float) -> float:
+        """Feed one rate sample (see :meth:`StatsMonitor.observe_rate`)."""
+        assert self.monitor is not None, "loop is not bound to a service"
+        return self.monitor.observe_rate(stream, rate)
+
+    def observe_rates(self, samples) -> None:
+        """Feed one sample per stream."""
+        assert self.monitor is not None, "loop is not bound to a service"
+        self.monitor.observe_rates(samples)
+
+    def observe_selectivity(self, a: str, b: str, value: float) -> float:
+        """Feed one selectivity sample."""
+        assert self.monitor is not None, "loop is not bound to a service"
+        return self.monitor.observe_selectivity(a, b, value)
+
+    def ingest_dataplane(self, report) -> int:
+        """Feed a dataplane report's measured rates."""
+        assert self.monitor is not None, "loop is not bound to a service"
+        return self.monitor.ingest_dataplane(report)
+
+    # ------------------------------------------------------------------
+    def step(self, service, now: float) -> AdaptiveTickReport:
+        """Run one observe -> decide -> migrate iteration.
+
+        Called from ``StreamQueryService.tick``; safe to call directly
+        in tests.
+        """
+        assert self.monitor is not None, "loop is not bound to a service"
+        report = AdaptiveTickReport(time=now)
+        with service.tracer.span("adaptive_tick") as span:
+            if not service.faults.statistics_frozen(now):
+                event = self.monitor.maybe_publish(now)
+                if event is not None:
+                    report.drift = event
+                    self._dirty = True
+                    self._instruments["drift_events"].inc(time=now)
+                    self._instruments["streams_published"].inc(
+                        float(len(event.drifts)), time=now
+                    )
+                    span.incr("drift_streams", len(event.drifts))
+                    # Live flows now ship at the published rates; the
+                    # epoch bump kills stale cached plans.
+                    service.engine.refresh_rates(now)
+                    service._refresh_epochs()
+            if service.topology_epoch != self._seen_topology:
+                self._seen_topology = service.topology_epoch
+                self._dirty = True
+            if self._dirty:
+                self._reoptimize(service, now, report, span)
+                self._dirty = bool(report.committed)
+        self.reports.append(report)
+        return report
+
+    def _reoptimize(self, service, now: float, report: AdaptiveTickReport, span) -> None:
+        assert self.policy is not None and self.migrator is not None
+        cfg = self.config
+        state = service.engine.state
+        for deployment in list(state.deployments):
+            name = deployment.query.name
+            last = self._last_migration.get(name)
+            if last is not None and now - last < cfg.query_cooldown:
+                continue
+            with service.tracer.span("adaptive_evaluate", query=name) as ev_span:
+                decision = self.policy.evaluate(
+                    state, deployment, service.network.cost_matrix()
+                )
+                ev_span.tag(migrate=decision.migrate)
+            report.evaluated += 1
+            report.decisions.append(decision)
+            self._instruments["evaluations"].inc(time=now)
+            if not decision.migrate:
+                continue
+            if len(report.migrations) >= cfg.max_migrations_per_tick:
+                decision.migrate = False
+                decision.reason += " (deferred: per-tick migration budget spent)"
+                continue
+            assert decision.candidate is not None and decision.diff is not None
+            with service.tracer.span("adaptive_migrate", query=name) as mig_span:
+                outcome = self.migrator.execute(
+                    service.engine,
+                    deployment,
+                    decision.candidate,
+                    decision.diff,
+                    ads=service.ads,
+                    now=now,
+                )
+                mig_span.tag(committed=outcome.committed)
+            report.migrations.append(outcome)
+            # Cooldown applies to aborts too: an outage that killed this
+            # cutover will likely kill an immediate retry.
+            self._last_migration[name] = now
+            if outcome.committed:
+                self._instruments["migrations"].inc(time=now)
+                self._instruments["operators_moved"].inc(
+                    float(outcome.operators_moved), time=now
+                )
+                self._instruments["bytes_moved"].inc(outcome.bytes_moved, time=now)
+                self._instruments["saving"].set(
+                    outcome.old_cost - outcome.new_cost, time=now
+                )
+                if outcome.timeline is not None:
+                    self._instruments["cutover_seconds"].observe(
+                        outcome.timeline.duration, time=now
+                    )
+                span.incr("migrations_committed")
+            else:
+                self._instruments["aborts"].inc(time=now)
+                span.incr("migrations_aborted")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Roll-up for replay reports and the adapt CLI."""
+        assert self.monitor is not None and self.policy is not None
+        committed = [m for r in self.reports for m in r.committed]
+        aborted = [m for r in self.reports for m in r.aborted]
+        return {
+            "monitor": self.monitor.summary(),
+            "evaluations": self.policy.evaluations,
+            "migrations_committed": len(committed),
+            "migrations_aborted": len(aborted),
+            "operators_moved": sum(m.operators_moved for m in committed),
+            "state_bytes_moved": sum(m.bytes_moved for m in committed),
+            "cost_saving": sum(m.old_cost - m.new_cost for m in committed),
+        }

@@ -1,0 +1,313 @@
+"""Runtime statistics monitoring: EWMA rate estimation and drift detection.
+
+The planners price every plan from *estimated* stream rates; the IPDPS'07
+cost model (communication cost = sum of rate x traversal cost) makes a
+deployment priced under stale rates arbitrarily wrong once rates drift.
+:class:`StatsMonitor` closes the observation half of the adaptive loop:
+
+* it maintains one :class:`EwmaEstimator` per base stream (seeded with
+  the catalog rate) fed from whatever the dataplane measures -- raw
+  per-tick rate samples, or a
+  :class:`~repro.runtime.dataplane.DataPlaneReport`'s measured rates;
+* it tracks per-join *selectivity* estimators the same way (advisory:
+  predicates are per-query constants, so selectivity drift informs drift
+  detection and reports but is not folded back into deployed queries);
+* :meth:`StatsMonitor.maybe_publish` detects drift with a relative-change
+  threshold plus hysteresis (a stream must breach the threshold for
+  ``hysteresis_ticks`` *consecutive* checks, and publications are rate
+  limited by ``publish_cooldown``), then publishes the drifted estimates
+  into the shared :class:`~repro.core.cost.RateModel` -- whose version
+  bump is what fires the lifecycle service's statistics epoch and
+  invalidates stale cached plans.
+
+Publication is deliberately the *only* side effect: deciding whether a
+deployed query should chase the new statistics is the re-optimization
+policy's job (:mod:`repro.adaptive.policy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.cost import RateModel
+from repro.query.stream import StreamSpec
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average over a scalar signal.
+
+    Args:
+        alpha: Smoothing factor in ``(0, 1]``; higher reacts faster.
+        initial: Optional prior (e.g. the catalog rate).  With a prior
+            the estimator is never empty; without one the first sample
+            becomes the value.
+    """
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float = 0.3, initial: float | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self.value = initial
+        self.samples = 0
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in; returns the new estimate."""
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value += self.alpha * (float(sample) - self.value)
+        self.samples += 1
+        return self.value
+
+
+@dataclass(frozen=True)
+class StreamDrift:
+    """One stream whose observed rate left its published rate behind.
+
+    Attributes:
+        stream: The drifting stream.
+        published: Rate the planners currently price with.
+        observed: The EWMA estimate from runtime observations.
+    """
+
+    stream: str
+    published: float
+    observed: float
+
+    @property
+    def relative_change(self) -> float:
+        """``|observed - published| / published``."""
+        if self.published == 0.0:  # pragma: no cover - specs forbid rate 0
+            return float("inf")
+        return abs(self.observed - self.published) / self.published
+
+
+@dataclass
+class DriftEvent:
+    """One statistics publication (rates actually changed).
+
+    Attributes:
+        time: Tick the monitor published at.
+        drifts: The streams that crossed the drift threshold.
+        rates_version: :attr:`RateModel.version` after the publish.
+    """
+
+    time: float
+    drifts: list[StreamDrift] = field(default_factory=list)
+    rates_version: int = 0
+
+    @property
+    def streams(self) -> list[str]:
+        """Names of the drifted streams."""
+        return [d.stream for d in self.drifts]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict (JSON-ready) form."""
+        return {
+            "time": self.time,
+            "rates_version": self.rates_version,
+            "drifts": [
+                {
+                    "stream": d.stream,
+                    "published": d.published,
+                    "observed": d.observed,
+                    "relative_change": d.relative_change,
+                }
+                for d in self.drifts
+            ],
+        }
+
+
+class StatsMonitor:
+    """Observes runtime rates/selectivities and publishes on drift.
+
+    Args:
+        rates: The shared rate model publications are folded into (its
+            ``version`` bump is what downstream epoch caches watch).
+        alpha: EWMA smoothing factor for every estimator.
+        drift_threshold: Relative change (``|ewma - published| /
+            published``) that counts as a breach.
+        hysteresis_ticks: Consecutive breaching :meth:`maybe_publish`
+            checks required before a stream's drift is published --
+            a one-tick spike decays in the EWMA instead of churning
+            the statistics epoch.
+        publish_cooldown: Minimum ticks between two publications.
+    """
+
+    def __init__(
+        self,
+        rates: RateModel,
+        alpha: float = 0.3,
+        drift_threshold: float = 0.2,
+        hysteresis_ticks: int = 2,
+        publish_cooldown: float = 5.0,
+    ) -> None:
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if hysteresis_ticks < 1:
+            raise ValueError("hysteresis_ticks must be >= 1")
+        if publish_cooldown < 0:
+            raise ValueError("publish_cooldown must be non-negative")
+        self.rates = rates
+        self.alpha = alpha
+        self.drift_threshold = drift_threshold
+        self.hysteresis_ticks = hysteresis_ticks
+        self.publish_cooldown = publish_cooldown
+        self._estimators = {
+            name: EwmaEstimator(alpha, initial=spec.rate)
+            for name, spec in rates.streams.items()
+        }
+        self._published = {name: spec.rate for name, spec in rates.streams.items()}
+        self._breaches: dict[str, int] = {name: 0 for name in self._estimators}
+        self._selectivities: dict[frozenset[str], EwmaEstimator] = {}
+        self._last_publish: float | None = None
+        self.events: list[DriftEvent] = []
+        self.samples_total = 0
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe_rate(self, stream: str, rate: float) -> float:
+        """Feed one measured rate sample for a base stream."""
+        estimator = self._estimators.get(stream)
+        if estimator is None:
+            raise KeyError(f"unknown stream {stream!r}")
+        if rate < 0:
+            raise ValueError(f"negative rate sample for {stream!r}: {rate}")
+        self.samples_total += 1
+        return estimator.update(rate)
+
+    def observe_rates(self, samples: Mapping[str, float]) -> None:
+        """Feed one sample per stream (e.g. a per-tick rate snapshot)."""
+        for stream, rate in samples.items():
+            self.observe_rate(stream, rate)
+
+    def observe_selectivity(self, a: str, b: str, value: float) -> float:
+        """Feed one measured selectivity sample for a stream pair."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"selectivity sample must be in [0, 1], got {value}")
+        key = frozenset((a, b))
+        estimator = self._selectivities.get(key)
+        if estimator is None:
+            estimator = self._selectivities[key] = EwmaEstimator(self.alpha)
+        self.samples_total += 1
+        return estimator.update(value)
+
+    def ingest_dataplane(self, report) -> int:
+        """Fold a :class:`~repro.runtime.dataplane.DataPlaneReport` in.
+
+        Base-stream labels of ``measured_rates`` (no ``*``) feed the
+        rate estimators; unknown labels are ignored (a deployment may
+        span a subset of the catalog).  Returns samples ingested.
+        """
+        ingested = 0
+        for label, rate in report.measured_rates.items():
+            if "*" in label or label not in self._estimators:
+                continue
+            self.observe_rate(label, rate)
+            ingested += 1
+        return ingested
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def estimated_rate(self, stream: str) -> float:
+        """Current EWMA estimate for one stream."""
+        estimator = self._estimators.get(stream)
+        if estimator is None:
+            raise KeyError(f"unknown stream {stream!r}")
+        assert estimator.value is not None  # seeded with the catalog rate
+        return estimator.value
+
+    def published_rate(self, stream: str) -> float:
+        """The rate planners currently price with."""
+        return self._published[stream]
+
+    def estimated_selectivity(self, a: str, b: str) -> float | None:
+        """EWMA selectivity estimate for a pair (``None`` if unobserved)."""
+        estimator = self._selectivities.get(frozenset((a, b)))
+        return None if estimator is None else estimator.value
+
+    def drifted(self) -> list[StreamDrift]:
+        """Streams currently past the drift threshold (pre-hysteresis)."""
+        out: list[StreamDrift] = []
+        for name, estimator in self._estimators.items():
+            drift = StreamDrift(
+                stream=name,
+                published=self._published[name],
+                observed=estimator.value,  # type: ignore[arg-type]
+            )
+            if drift.relative_change >= self.drift_threshold:
+                out.append(drift)
+        return out
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def maybe_publish(self, now: float) -> DriftEvent | None:
+        """Run one drift check; publish if hysteresis and cooldown allow.
+
+        Every call advances the per-stream hysteresis counters (breach
+        streaks grow, recovered streams reset), so call it once per
+        control-loop tick.  On publication the drifted streams' EWMA
+        estimates are swapped into the rate model (other streams keep
+        their published rates) and a :class:`DriftEvent` is returned;
+        otherwise ``None``.
+        """
+        breaching = {d.stream: d for d in self.drifted()}
+        for name in self._breaches:
+            if name in breaching:
+                self._breaches[name] += 1
+            else:
+                self._breaches[name] = 0
+
+        if self._last_publish is not None:
+            if now - self._last_publish < self.publish_cooldown:
+                return None
+        firing = [
+            drift
+            for name, drift in sorted(breaching.items())
+            if self._breaches[name] >= self.hysteresis_ticks
+        ]
+        if not firing:
+            return None
+
+        current = self.rates.streams
+        updated = dict(current)
+        for drift in firing:
+            spec = current[drift.stream]
+            updated[drift.stream] = StreamSpec(
+                spec.name, spec.source, max(drift.observed, 1e-12)
+            )
+        if not self.rates.update_streams(updated):  # pragma: no cover - defensive
+            return None
+        for drift in firing:
+            self._published[drift.stream] = drift.observed
+            self._breaches[drift.stream] = 0
+        self._last_publish = now
+        event = DriftEvent(
+            time=now, drifts=firing, rates_version=self.rates.version
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Counters for reports and the adapt CLI."""
+        return {
+            "streams_monitored": len(self._estimators),
+            "samples": self.samples_total,
+            "publications": len(self.events),
+            "selectivity_pairs": len(self._selectivities),
+            "drifting_now": sorted(d.stream for d in self.drifted()),
+        }
+
+
+def rates_snapshot(streams: Iterable[StreamSpec]) -> dict[str, float]:
+    """Convenience: ``{name: rate}`` from an iterable of specs."""
+    return {spec.name: spec.rate for spec in streams}

@@ -452,6 +452,136 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import json
+
+    import repro
+    from repro.adaptive import AdaptivityConfig
+    from repro.core.cost import RateModel, deployment_cost
+    from repro.service import AdmissionController, StreamQueryService
+    from repro.workload import drift_timeline
+
+    network, workload = _generated_workload(args)
+    rates = workload.rate_model()
+    if args.stream is not None and args.stream not in rates.streams:
+        print(f"error: unknown stream {args.stream!r} "
+              f"(catalog: {', '.join(sorted(rates.streams))})", file=sys.stderr)
+        return 2
+    try:
+        timeline = drift_timeline(
+            rates.streams,
+            kind=args.drift,
+            stream=args.stream,
+            at=args.at,
+            duration=args.ramp,
+            factor=args.factor,
+            period=args.period,
+            amplitude=args.amplitude,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    config = AdaptivityConfig(
+        horizon=args.horizon, bytes_per_tuple=args.bytes_per_tuple,
+        publish_cooldown=2.0, query_cooldown=2.0, max_migrations_per_tick=4,
+    )
+
+    def build(adaptivity):
+        # Each twin gets its own rate model: the adaptive loop publishes
+        # revised statistics into it, which must not leak to the static
+        # control.
+        own_rates = workload.rate_model()
+        hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+        optimizer = repro.make_optimizer(
+            args.algorithm, network, own_rates, hierarchy=hierarchy
+        )
+        service = StreamQueryService(
+            optimizer,
+            network,
+            own_rates,
+            hierarchy=hierarchy,
+            admission=AdmissionController(budget=len(workload.queries)),
+            adaptivity=adaptivity,
+        )
+        for query in workload:
+            service.submit(query)
+        return service
+
+    adaptive, static = build(config), build(None)
+    costs = network.cost_matrix()
+    ticks = []
+    for tick in range(1, args.ticks + 1):
+        now = float(tick)
+        adaptive.adaptivity.observe_rates(timeline.rates_at(now))
+        report = adaptive.tick(now)
+        static.tick(now)
+        oracle = RateModel(timeline.streams_at(now))
+        entry = {
+            "tick": tick,
+            "static_cost": sum(
+                deployment_cost(d, costs, oracle)
+                for d in static.engine.state.deployments
+            ),
+            "adaptive_cost": sum(
+                deployment_cost(d, costs, oracle)
+                for d in adaptive.engine.state.deployments
+            ),
+            "drift_streams": list(report.drift_streams),
+            "migrated": list(report.migrated),
+        }
+        ticks.append(entry)
+
+    summary = adaptive.adaptivity.summary()
+    migrations = [
+        outcome.to_dict()
+        for r in adaptive.adaptivity.reports
+        for outcome in r.migrations
+    ]
+    if args.emit_timeline:
+        doc = {
+            "drift": {
+                "kind": args.drift,
+                "events": [
+                    {"stream": e.stream, **{
+                        k: v for k, v in vars(e).items() if k != "stream"
+                    }}
+                    for e in timeline.events
+                ],
+            },
+            "ticks": ticks,
+            "migrations": migrations,
+            "summary": summary,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    drifting = ", ".join(e.stream for e in timeline.events)
+    print(f"adaptivity drill: {args.drift} drift on {drifting}, "
+          f"{len(network.nodes())} nodes, {args.ticks} ticks, seed {args.seed or 0}")
+    monitor = summary["monitor"]
+    print(f"  drift events published: {monitor['publications']} "
+          f"({monitor['samples']} samples over {monitor['streams_monitored']} streams)")
+    print(f"  re-optimizations: {summary['evaluations']} evaluated, "
+          f"{summary['migrations_committed']} migrations committed, "
+          f"{summary['migrations_aborted']} aborted")
+    print(f"  moved: {summary['operators_moved']} operators, "
+          f"{summary['state_bytes_moved']:,.0f} bytes of window state")
+    for entry in ticks:
+        if entry["migrated"]:
+            print(f"    t={entry['tick']}: migrated {', '.join(entry['migrated'])}")
+    settle = timeline.settle_time()
+    post = [t for t in ticks if t["tick"] > settle]
+    static_total = sum(t["static_cost"] for t in post)
+    adaptive_total = sum(t["adaptive_cost"] for t in post)
+    saved = 0.0 if static_total == 0 else (
+        (static_total - adaptive_total) / static_total * 100.0
+    )
+    print(f"  post-drift cumulative cost: static {static_total:,.0f}, "
+          f"adaptive {adaptive_total:,.0f} ({saved:.1f}% saved)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -581,6 +711,44 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--emit-plan", action="store_true",
                        help="print the generated fault plan as JSON and exit")
     chaos.set_defaults(func=_cmd_chaos)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="run a seeded rate-drift drill against the adaptive loop",
+    )
+    adapt.add_argument("--seed", type=int, default=2,
+                       help="seed for the network and workload")
+    adapt.add_argument("--ticks", type=int, default=30,
+                       help="virtual ticks the drill covers")
+    adapt.add_argument("--nodes", type=int, default=32)
+    adapt.add_argument("--streams", type=int, default=8)
+    adapt.add_argument("--queries", type=int, default=6)
+    adapt.add_argument("--max-cs", type=int, default=4)
+    adapt.add_argument("--algorithm", default="top-down",
+                       choices=["top-down", "bottom-up"],
+                       help="hierarchical planners (re-planning reuses them)")
+    adapt.add_argument("--drift", default="step",
+                       choices=["step", "ramp", "periodic"],
+                       help="shape of the scheduled rate change")
+    adapt.add_argument("--stream", default=None,
+                       help="drifting stream (default: the lowest-rate one)")
+    adapt.add_argument("--at", type=float, default=5.0,
+                       help="step time / ramp start")
+    adapt.add_argument("--ramp", type=float, default=10.0,
+                       help="ramp duration (--drift ramp)")
+    adapt.add_argument("--factor", type=float, default=6.0,
+                       help="rate multiplier after the step/ramp")
+    adapt.add_argument("--period", type=float, default=24.0,
+                       help="oscillation period (--drift periodic)")
+    adapt.add_argument("--amplitude", type=float, default=0.5,
+                       help="oscillation amplitude (--drift periodic)")
+    adapt.add_argument("--horizon", type=float, default=30.0,
+                       help="ticks a migration's saving is amortized over")
+    adapt.add_argument("--bytes-per-tuple", type=float, default=16.0,
+                       help="window-state size per buffered tuple")
+    adapt.add_argument("--emit-timeline", action="store_true",
+                       help="emit the per-tick cost/migration timeline as JSON")
+    adapt.set_defaults(func=_cmd_adapt)
     return parser
 
 

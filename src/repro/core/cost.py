@@ -64,20 +64,29 @@ class RateModel:
         """
         return self._version
 
-    def update_streams(self, streams: Mapping[str, StreamSpec]) -> None:
+    def update_streams(self, streams: Mapping[str, StreamSpec]) -> bool:
         """Swap in re-estimated stream specs (rates and/or sources).
 
         Clears the memoized view rates and bumps :attr:`version` so
         epoch-based caches invalidate.  The new catalog must cover every
         stream of the old one (queries already planned against the model
         must stay resolvable).
+
+        A no-op update -- every spec identical to the current catalog --
+        leaves :attr:`version` alone, so periodic re-estimation that
+        lands on the same numbers does not invalidate downstream plan
+        caches for nothing.  Returns whether anything changed.
         """
         missing = set(self._streams) - set(streams)
         if missing:
             raise ValueError(f"updated statistics drop streams: {sorted(missing)}")
-        self._streams = dict(streams)
+        incoming = dict(streams)
+        if incoming == self._streams:
+            return False
+        self._streams = incoming
         self._cache.clear()
         self._version += 1
+        return True
 
     def stream(self, name: str) -> StreamSpec:
         """Spec of one base stream."""

@@ -313,6 +313,71 @@ class DeploymentState:
         self._costs = costs
         return self.total_cost()
 
+    def recompute_rates(self) -> float:
+        """Re-price every flow and operator under the current rate model.
+
+        Flows are created at deployment time with the rates then in
+        force; after a statistics publication they no longer reflect
+        what the system actually ships.  This re-derives every operator
+        record's output rate and rebuilds every flow (same endpoints,
+        fresh rates) by replaying each deployment's plan in application
+        order, so the state's costs answer "what does the running system
+        cost *under the new statistics*" -- the quantity the adaptive
+        re-optimization policy compares candidates against.  Returns the
+        new total cost.
+
+        Operator records whose creating query has since been undeployed
+        (alive only through reuse) keep their recorded rate: their
+        production flows are gone, so the stale rate prices nothing.
+        """
+        for deployment in self._deployments.values():
+            query = deployment.query
+            for subtree in deployment.plan.subtrees():
+                sig: ViewSignature | None = None
+                if isinstance(subtree, Join):
+                    sig = query.view_signature(subtree.sources)
+                elif subtree.is_base_stream:
+                    candidate = query.view_signature(subtree.view)
+                    if candidate.filters:  # filtered base leaf = a view operator
+                        sig = candidate
+                if sig is None:
+                    continue
+                rec = self._operators.get((sig, deployment.placement[subtree]))
+                if rec is not None:
+                    rec.rate = self._rate_fn(query, sig.sources)
+        rebuilt: list[FlowEdge] = []
+        for deployment in self._deployments.values():
+            query = deployment.query
+            for subtree in deployment.plan.subtrees():
+                if isinstance(subtree, Leaf):
+                    continue
+                assert isinstance(subtree, Join)
+                node = deployment.placement[subtree]
+                for child in (subtree.left, subtree.right):
+                    src = deployment.placement[child]
+                    if src != node:
+                        rebuilt.append(
+                            FlowEdge(
+                                query=query.name,
+                                producer=self._producer_key(query, child, src),
+                                dest=node,
+                                rate=self._flow_rate(query, child, src),
+                            )
+                        )
+            root = deployment.plan
+            root_node = deployment.placement[root]
+            if root_node != query.sink:
+                rebuilt.append(
+                    FlowEdge(
+                        query=query.name,
+                        producer=self._producer_key(query, root, root_node),
+                        dest=query.sink,
+                        rate=self._flow_rate(query, root, root_node),
+                    )
+                )
+        self._flows = rebuilt
+        return self.total_cost()
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

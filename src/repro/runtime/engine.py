@@ -127,6 +127,17 @@ class FlowEngine:
         self._tick(time)
         return total
 
+    def refresh_rates(self, time: float | None = None) -> float:
+        """Re-price every live flow under the current rate model.
+
+        The statistics counterpart of :meth:`refresh_network`: after a
+        rate publication, flows keep their endpoints but ship at the
+        newly observed rates.  Returns the new total cost.
+        """
+        total = self.state.recompute_rates()
+        self._tick(time)
+        return total
+
     def link_loads(self) -> list[LinkLoad]:
         """Per-link aggregate rates of all live flows (cheapest-path routed)."""
         loads: dict[tuple[int, int], float] = {}

@@ -62,3 +62,81 @@ class Advertisement:
 
     view_label: str
     node: int
+
+
+# ---------------------------------------------------------------------------
+# Live-migration cutover protocol (pause -> drain/transfer -> resume)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PauseCommand:
+    """Coordinator asks an operator's current host to pause it.
+
+    A paused operator stops emitting; upstream tuples buffer at the
+    producers (the drain).
+
+    Attributes:
+        query_name: Query being migrated.
+        operator_label: Label of the operator to pause.
+    """
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class PauseAck:
+    """The old host confirms the operator is paused and drained."""
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class TransferCommand:
+    """Coordinator asks the old host to ship the operator's state.
+
+    Attributes:
+        query_name: Query being migrated.
+        operator_label: Operator whose window state moves.
+        dest: Node receiving the state (the operator's new host).
+        nbytes: Estimated state size (sets the transmission time).
+    """
+
+    query_name: str
+    operator_label: str
+    dest: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class StateChunk:
+    """The serialized window state in flight from old host to new host."""
+
+    query_name: str
+    operator_label: str
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class StateAck:
+    """The new host confirms the operator's state arrived intact."""
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class ResumeCommand:
+    """Coordinator asks the new host to resume the rebuilt operator."""
+
+    query_name: str
+    operator_label: str
+
+
+@dataclass(frozen=True)
+class ResumeAck:
+    """The new host confirms the operator is live on its new node."""
+
+    query_name: str
+    operator_label: str

@@ -38,6 +38,7 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.adaptive.loop import AdaptivityConfig, AdaptivityLoop
 from repro.core.cost import RateModel
 from repro.core.optimizer import Optimizer
 from repro.errors import HierarchyError, PlanningError, UnknownQueryError
@@ -86,6 +87,8 @@ class TickReport:
     deployed: list[str] = field(default_factory=list)
     retired: list[str] = field(default_factory=list)
     parked: list[str] = field(default_factory=list)
+    migrated: list[str] = field(default_factory=list)
+    drift_streams: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -153,6 +156,13 @@ class StreamQueryService:
             windows).  Defaults to the no-op :data:`NULL_FAULTS`;
             passing a real injector implicitly enables the resilience
             layer with default tuning if ``resilience`` was omitted.
+        adaptivity: Optional :class:`AdaptivityConfig` (or a prebuilt
+            :class:`AdaptivityLoop`) turning on closed-loop statistics
+            monitoring, re-optimization and live operator migration:
+            every :meth:`tick` runs one observe -> decide -> migrate
+            step.  With ``None`` (the default) no monitor, instruments
+            or hooks exist and behavior is byte-identical to before the
+            subsystem existed (same contract as ``resilience``).
     """
 
     def __init__(
@@ -169,6 +179,7 @@ class StreamQueryService:
         tracer: Tracer | None = None,
         resilience: ResilienceConfig | None = None,
         faults=None,
+        adaptivity: AdaptivityConfig | AdaptivityLoop | None = None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
@@ -250,6 +261,17 @@ class StreamQueryService:
         if resilience is not None:
             self.resilience = ResilientControl(resilience, self.faults)
             self.resilience.bind(self)
+
+        # Adaptivity layer, same contract: the loop (monitor, policy,
+        # migrator, adaptive_* instruments) exists only when asked for.
+        self.adaptivity: AdaptivityLoop | None = None
+        if adaptivity is not None:
+            self.adaptivity = (
+                adaptivity
+                if isinstance(adaptivity, AdaptivityLoop)
+                else AdaptivityLoop(adaptivity)
+            )
+            self.adaptivity.bind(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -432,6 +454,11 @@ class StreamQueryService:
 
         if self.resilience is not None:
             self.resilience.readmit_parked(self, report.deployed)
+        if self.adaptivity is not None:
+            adaptive = self.adaptivity.step(self, now)
+            if adaptive.drift is not None:
+                report.drift_streams.extend(adaptive.drift.streams)
+            report.migrated.extend(m.query for m in adaptive.committed)
         self._record_gauges()
         return report
 
@@ -693,6 +720,8 @@ class StreamQueryService:
         if self.resilience is not None:
             report.summary["resilience"] = self.resilience.summary()
             report.summary["faults"] = self.faults.summary()
+        if self.adaptivity is not None:
+            report.summary["adaptivity"] = self.adaptivity.summary()
         return report
 
     # ------------------------------------------------------------------

@@ -12,9 +12,14 @@
 
 from repro.workload.generator import Workload, WorkloadParams, generate_workload
 from repro.workload.scenarios import (
+    DriftTimeline,
     MonitoringScenario,
     OisScenario,
+    PeriodicDrift,
+    RampDrift,
+    StepDrift,
     airline_ois_scenario,
+    drift_timeline,
     network_monitoring_scenario,
 )
 from repro.workload.statistics import (
@@ -32,6 +37,11 @@ __all__ = [
     "airline_ois_scenario",
     "MonitoringScenario",
     "network_monitoring_scenario",
+    "DriftTimeline",
+    "StepDrift",
+    "RampDrift",
+    "PeriodicDrift",
+    "drift_timeline",
     "EstimatedStatistics",
     "StatisticsCollector",
     "estimate_statistics",

@@ -14,7 +14,8 @@ opportunities the paper walks through actually arise:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from repro.core.cost import RateModel
 from repro.network.graph import Network
@@ -188,3 +189,167 @@ def network_monitoring_scenario(seed: int = 0) -> MonitoringScenario:
         rates=RateModel(streams),
         queries=queries,
     )
+
+
+# ---------------------------------------------------------------------------
+# Rate-drift schedules (exercise the adaptive subsystem)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StepDrift:
+    """A stream's rate jumps by ``factor`` at time ``at`` and stays there.
+
+    The canonical adaptivity stressor: a deployment planned before the
+    step is arbitrarily mispriced after it.
+    """
+
+    stream: str
+    at: float
+    factor: float
+
+    def factor_at(self, time: float) -> float:
+        """Rate multiplier at ``time``."""
+        return self.factor if time >= self.at else 1.0
+
+
+@dataclass(frozen=True)
+class RampDrift:
+    """A stream's rate ramps linearly to ``factor`` x over [start, end].
+
+    Gradual drift: tests that hysteresis does not suppress slow changes
+    forever and that the loop converges without flapping.
+    """
+
+    stream: str
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("ramp end must be after start")
+
+    def factor_at(self, time: float) -> float:
+        """Rate multiplier at ``time``."""
+        if time <= self.start:
+            return 1.0
+        if time >= self.end:
+            return self.factor
+        frac = (time - self.start) / (self.end - self.start)
+        return 1.0 + (self.factor - 1.0) * frac
+
+
+@dataclass(frozen=True)
+class PeriodicDrift:
+    """A diurnal-style sinusoidal rate schedule.
+
+    The multiplier oscillates ``1 +/- amplitude`` with the given period;
+    a well-tuned loop should track the swings without migrating on every
+    half-cycle (the amortization horizon damps it).
+    """
+
+    stream: str
+    period: float
+    amplitude: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1) to keep rates positive")
+
+    def factor_at(self, time: float) -> float:
+        """Rate multiplier at ``time``."""
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (time + self.phase) / self.period
+        )
+
+
+@dataclass
+class DriftTimeline:
+    """A base stream catalog plus a schedule of rate-drift events.
+
+    Attributes:
+        base: The catalog at time 0 (name -> spec).
+        events: Drift schedules; multiple events on one stream compose
+            multiplicatively.
+    """
+
+    base: dict[str, StreamSpec]
+    events: list[StepDrift | RampDrift | PeriodicDrift] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.stream not in self.base:
+                raise ValueError(f"drift event for unknown stream {event.stream!r}")
+
+    def factor(self, stream: str, time: float) -> float:
+        """Combined rate multiplier for one stream at ``time``."""
+        out = 1.0
+        for event in self.events:
+            if event.stream == stream:
+                out *= event.factor_at(time)
+        return out
+
+    def rate_at(self, stream: str, time: float) -> float:
+        """True (scheduled) rate of one stream at ``time``."""
+        return self.base[stream].rate * self.factor(stream, time)
+
+    def rates_at(self, time: float) -> dict[str, float]:
+        """True rates of every stream at ``time`` (monitor food)."""
+        return {name: self.rate_at(name, time) for name in self.base}
+
+    def streams_at(self, time: float) -> dict[str, StreamSpec]:
+        """The catalog re-priced to ``time`` (oracle statistics)."""
+        return {
+            name: StreamSpec(spec.name, spec.source, self.rate_at(name, time))
+            for name, spec in self.base.items()
+        }
+
+    def settle_time(self) -> float:
+        """Time after which only periodic events still change rates."""
+        settled = 0.0
+        for event in self.events:
+            if isinstance(event, StepDrift):
+                settled = max(settled, event.at)
+            elif isinstance(event, RampDrift):
+                settled = max(settled, event.end)
+        return settled
+
+
+def drift_timeline(
+    streams: dict[str, StreamSpec],
+    kind: str = "step",
+    stream: str | None = None,
+    at: float = 10.0,
+    duration: float = 10.0,
+    factor: float = 4.0,
+    period: float = 24.0,
+    amplitude: float = 0.5,
+) -> DriftTimeline:
+    """Build a one-event drift timeline over a stream catalog.
+
+    Args:
+        streams: The base catalog.
+        kind: ``"step"``, ``"ramp"`` or ``"periodic"``.
+        stream: The drifting stream (default: the lowest-rate stream,
+            so the drift inverts rate orderings and changes optimal
+            join orders, not just absolute costs).
+        at: Step time / ramp start / periodic phase origin.
+        duration: Ramp duration (``kind="ramp"`` only).
+        factor: Step/ramp multiplier.
+        period: Oscillation period (``kind="periodic"`` only).
+        amplitude: Oscillation amplitude (``kind="periodic"`` only).
+    """
+    if stream is None:
+        stream = min(streams, key=lambda name: streams[name].rate)
+    if kind == "step":
+        event: StepDrift | RampDrift | PeriodicDrift = StepDrift(stream, at, factor)
+    elif kind == "ramp":
+        event = RampDrift(stream, at, at + duration, factor)
+    elif kind == "periodic":
+        event = PeriodicDrift(stream, period, amplitude, phase=-at)
+    else:
+        raise ValueError(f"unknown drift kind {kind!r}")
+    return DriftTimeline(base=dict(streams), events=[event])

@@ -1,0 +1,207 @@
+"""Migrator: cutover protocol, atomic swap, faults, rollback.
+
+The acceptance property: a fault in the middle of a cutover leaves the
+query either fully on its old deployment or fully on its new one --
+never split across both.
+"""
+
+import pytest
+
+from repro.adaptive.diff import diff_deployments
+from repro.adaptive.migrate import MIGRATION_RETRY, Migrator
+from repro.core.cost import RateModel
+from repro.errors import DeploymentError
+from repro.network.topology import transit_stub_by_size
+from repro.query.deployment import Deployment
+from repro.query.plan import Join, Leaf
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import StreamSpec
+from repro.resilience.faults import (
+    CoordinatorOutage,
+    FaultInjector,
+    FaultPlan,
+    MessageStorm,
+)
+from repro.runtime.engine import FlowEngine
+
+
+def make_world():
+    net = transit_stub_by_size(16, seed=1)
+    rates = RateModel(
+        {
+            "A": StreamSpec("A", 0, rate=100.0),
+            "B": StreamSpec("B", 1, rate=40.0),
+            "C": StreamSpec("C", 2, rate=10.0),
+        }
+    )
+    query = Query(
+        "q",
+        ["A", "B", "C"],
+        sink=3,
+        predicates=[JoinPredicate("A", "B", 0.01), JoinPredicate("B", "C", 0.05)],
+    )
+    return net, rates, query
+
+
+def left_deep(query, nodes):
+    a, b, c = Leaf.of("A"), Leaf.of("B"), Leaf.of("C")
+    ab = Join(a, b)
+    abc = Join(ab, c)
+    return Deployment(
+        query=query, plan=abc, placement={a: 0, b: 1, c: 2, ab: nodes[0], abc: nodes[1]}
+    )
+
+
+def op_set(deployment):
+    """The (operator signature, node) set a deployment pins down."""
+    query = deployment.query
+    return {
+        (query.view_signature(subtree.sources), deployment.placement[subtree])
+        for subtree in deployment.plan.subtrees()
+        if isinstance(subtree, Join)
+    }
+
+
+def live_ops(engine, name):
+    dep = next(d for d in engine.state.deployments if d.query.name == name)
+    return op_set(dep)
+
+
+def outage(node, duration):
+    return FaultInjector(
+        FaultPlan([CoordinatorOutage(time=0.0, node=node, duration=duration)])
+    )
+
+
+class TestCutoverProtocol:
+    def test_clean_cutover_walks_the_three_phases_in_order(self):
+        net, rates, query = make_world()
+        diff = diff_deployments(
+            left_deep(query, (1, 2)), left_deep(query, (0, 3)), rates
+        )
+        assert len(diff.moved) == 2
+        timeline = Migrator(net).simulate_cutover(diff, coordinator=query.sink)
+        assert timeline.committed
+        assert timeline.retransmissions == 0
+        assert (
+            timeline.started
+            < timeline.pause_done
+            < timeline.transfer_done
+            < timeline.completed
+        )
+        assert timeline.operators_moved == 2
+        assert timeline.bytes_moved == pytest.approx(diff.total_state_bytes)
+        # pause + 2x(command, ack) per phase per operator, at minimum
+        assert timeline.messages >= 12
+
+    def test_noop_diff_commits_instantly(self):
+        net, rates, query = make_world()
+        same = left_deep(query, (1, 2))
+        diff = diff_deployments(same, left_deep(query, (1, 2)), rates)
+        timeline = Migrator(net).simulate_cutover(diff, coordinator=query.sink)
+        assert timeline.committed
+        assert timeline.duration == 0.0
+        assert timeline.messages == 0
+
+    def test_bigger_state_takes_longer_to_ship(self):
+        net, rates, query = make_world()
+        old, new = left_deep(query, (1, 2)), left_deep(query, (0, 2))
+        small = diff_deployments(old, new, rates, bytes_per_tuple=1.0)
+        big = diff_deployments(old, new, rates, bytes_per_tuple=4096.0)
+        migrator = Migrator(net, seconds_per_byte=1e-4)
+        t_small = migrator.simulate_cutover(small, coordinator=query.sink)
+        t_big = migrator.simulate_cutover(big, coordinator=query.sink)
+        assert t_big.duration > t_small.duration
+
+
+class TestAtomicSwap:
+    def test_commit_swaps_the_engine_to_the_candidate(self):
+        net, rates, query = make_world()
+        old, candidate = left_deep(query, (1, 2)), left_deep(query, (0, 3))
+        engine = FlowEngine(net, rates)
+        engine.deploy(old)
+        diff = diff_deployments(old, candidate, rates)
+        outcome = Migrator(net).execute(engine, old, candidate, diff, now=5.0)
+        assert outcome.committed
+        assert outcome.operators_moved == 2
+        assert live_ops(engine, "q") == op_set(candidate)
+        assert outcome.new_cost == pytest.approx(engine.state.query_cost("q"))
+        assert outcome.timeline is not None and outcome.timeline.started == 5.0
+
+    def test_long_outage_aborts_and_leaves_fully_old(self):
+        net, rates, query = make_world()
+        old, candidate = left_deep(query, (1, 2)), left_deep(query, (0, 3))
+        engine = FlowEngine(net, rates)
+        engine.deploy(old)
+        cost_before = engine.state.query_cost("q")
+        diff = diff_deployments(old, candidate, rates)
+        migrator = Migrator(net, faults=outage(query.sink, duration=1e9))
+        outcome = migrator.execute(engine, old, candidate, diff)
+        assert not outcome.committed
+        assert not outcome.rolled_back  # aborted before the swap
+        assert "retransmission budget" in outcome.reason
+        assert live_ops(engine, "q") == op_set(old)
+        assert engine.state.query_cost("q") == pytest.approx(cost_before)
+
+    def test_short_outage_rides_out_on_retransmissions(self):
+        net, rates, query = make_world()
+        old, candidate = left_deep(query, (1, 2)), left_deep(query, (0, 3))
+        engine = FlowEngine(net, rates)
+        engine.deploy(old)
+        diff = diff_deployments(old, candidate, rates)
+        # MIGRATION_RETRY retransmits at +0.05/+0.15/+0.35/+0.75; an
+        # outage of 0.1 swallows the first send and the first resend.
+        migrator = Migrator(net, faults=outage(query.sink, duration=0.1))
+        outcome = migrator.execute(engine, old, candidate, diff)
+        assert outcome.committed
+        assert outcome.timeline.retransmissions > 0
+        assert live_ops(engine, "q") == op_set(candidate)
+
+    def test_failed_candidate_install_rolls_back_to_old(self, monkeypatch):
+        net, rates, query = make_world()
+        old, candidate = left_deep(query, (1, 2)), left_deep(query, (0, 3))
+        engine = FlowEngine(net, rates)
+        engine.deploy(old)
+        diff = diff_deployments(old, candidate, rates)
+        real_deploy = engine.deploy
+
+        def flaky_deploy(deployment, time=None):
+            if deployment is candidate:
+                raise DeploymentError("node lost between planning and install")
+            return real_deploy(deployment, time)
+
+        monkeypatch.setattr(engine, "deploy", flaky_deploy)
+        outcome = Migrator(net).execute(engine, old, candidate, diff)
+        assert not outcome.committed
+        assert outcome.rolled_back
+        assert "rolled back" in outcome.reason
+        assert live_ops(engine, "q") == op_set(old)
+        assert outcome.new_cost == pytest.approx(outcome.old_cost)
+
+
+class TestNeverSplit:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_storm_leaves_query_fully_old_or_fully_new(self, seed):
+        """Property: whatever the storm does to the cutover messages,
+        the engine ends on exactly one of the two deployments."""
+        net, rates, query = make_world()
+        old, candidate = left_deep(query, (1, 2)), left_deep(query, (0, 3))
+        engine = FlowEngine(net, rates)
+        engine.deploy(old)
+        diff = diff_deployments(old, candidate, rates)
+        faults = FaultInjector(
+            FaultPlan(
+                [MessageStorm(time=0.0, duration=1e9, drop=0.55, duplicate=0.2)],
+                seed=seed,
+            )
+        )
+        retry = MIGRATION_RETRY
+        outcome = Migrator(net, faults=faults, retry=retry).execute(
+            engine, old, candidate, diff
+        )
+        final = live_ops(engine, "q")
+        if outcome.committed:
+            assert final == op_set(candidate)
+        else:
+            assert final == op_set(old)
+        assert final in (op_set(old), op_set(candidate))  # never a mix

@@ -1,0 +1,57 @@
+"""End-to-end smoke tests for the ``adapt`` subcommand."""
+
+import json
+
+from repro.cli import build_parser, main
+
+SMALL = ["--nodes", "24", "--streams", "5", "--queries", "4", "--ticks", "20"]
+
+
+class TestAdaptCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["adapt"])
+        assert args.seed == 2
+        assert args.drift == "step"
+        assert args.ticks == 30
+        assert args.func.__name__ == "_cmd_adapt"
+
+    def test_step_drill_reports_migrations(self, capsys):
+        rc = main(["adapt", "--seed", "2", *SMALL])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "adaptivity drill: step drift" in out
+        assert "drift events published:" in out
+        assert "re-optimizations:" in out
+        assert "post-drift cumulative cost:" in out
+
+    def test_emit_timeline_is_json(self, capsys):
+        rc = main(["adapt", "--seed", "2", *SMALL, "--emit-timeline"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["drift"]["kind"] == "step"
+        assert len(doc["ticks"]) == 20
+        first = doc["ticks"][0]
+        assert {"tick", "static_cost", "adaptive_cost", "drift_streams",
+                "migrated"} <= set(first)
+        # before the drift lands, both twins pay the same true cost
+        assert first["static_cost"] == first["adaptive_cost"]
+        assert "summary" in doc and "migrations" in doc
+
+    def test_ramp_and_periodic_kinds_run(self, capsys):
+        for extra in (["--drift", "ramp", "--ramp", "6"],
+                      ["--drift", "periodic", "--period", "10"]):
+            rc = main(["adapt", "--seed", "1", *SMALL, *extra])
+            assert rc == 0
+            assert "adaptivity drill:" in capsys.readouterr().out
+
+    def test_unknown_stream_is_a_usage_error(self, capsys):
+        rc = main(["adapt", *SMALL, "--stream", "NOPE"])
+        assert rc == 2
+        assert "unknown stream" in capsys.readouterr().err
+
+    def test_explicit_stream_is_respected(self, capsys):
+        rc = main(["adapt", "--seed", "2", *SMALL, "--stream", "S0",
+                   "--emit-timeline"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["drift"]["events"][0]["stream"] == "S0"

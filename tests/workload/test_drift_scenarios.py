@@ -1,0 +1,113 @@
+"""Drift schedules: step, ramp, periodic, and their composition."""
+
+import math
+
+import pytest
+
+from repro.query.stream import StreamSpec
+from repro.workload import (
+    DriftTimeline,
+    PeriodicDrift,
+    RampDrift,
+    StepDrift,
+    drift_timeline,
+)
+
+
+def catalog():
+    return {
+        "A": StreamSpec("A", 0, rate=100.0),
+        "B": StreamSpec("B", 1, rate=40.0),
+        "C": StreamSpec("C", 2, rate=10.0),
+    }
+
+
+class TestEvents:
+    def test_step_is_flat_then_jumps(self):
+        step = StepDrift("A", at=5.0, factor=4.0)
+        assert step.factor_at(4.999) == 1.0
+        assert step.factor_at(5.0) == 4.0
+        assert step.factor_at(100.0) == 4.0
+
+    def test_ramp_interpolates_linearly(self):
+        ramp = RampDrift("A", start=10.0, end=20.0, factor=3.0)
+        assert ramp.factor_at(0.0) == 1.0
+        assert ramp.factor_at(15.0) == pytest.approx(2.0)
+        assert ramp.factor_at(20.0) == 3.0
+        assert ramp.factor_at(99.0) == 3.0
+        with pytest.raises(ValueError):
+            RampDrift("A", start=5.0, end=5.0, factor=2.0)
+
+    def test_periodic_oscillates_around_one(self):
+        periodic = PeriodicDrift("A", period=24.0, amplitude=0.5)
+        assert periodic.factor_at(0.0) == pytest.approx(1.0)
+        assert periodic.factor_at(6.0) == pytest.approx(1.5)
+        assert periodic.factor_at(18.0) == pytest.approx(0.5)
+        # mean over a full period is 1.0
+        samples = [periodic.factor_at(t * 0.1) for t in range(240)]
+        assert sum(samples) / len(samples) == pytest.approx(1.0, abs=1e-6)
+        with pytest.raises(ValueError):
+            PeriodicDrift("A", period=0.0, amplitude=0.5)
+        with pytest.raises(ValueError):
+            PeriodicDrift("A", period=24.0, amplitude=1.0)
+
+
+class TestTimeline:
+    def test_rates_at_reprices_only_the_drifting_stream(self):
+        timeline = DriftTimeline(catalog(), [StepDrift("C", at=5.0, factor=6.0)])
+        before, after = timeline.rates_at(0.0), timeline.rates_at(10.0)
+        assert before == {"A": 100.0, "B": 40.0, "C": 10.0}
+        assert after == {"A": 100.0, "B": 40.0, "C": 60.0}
+
+    def test_events_on_one_stream_compose_multiplicatively(self):
+        timeline = DriftTimeline(
+            catalog(),
+            [
+                StepDrift("A", at=0.0, factor=2.0),
+                PeriodicDrift("A", period=8.0, amplitude=0.5),
+            ],
+        )
+        assert timeline.factor("A", 2.0) == pytest.approx(2.0 * 1.5)
+
+    def test_streams_at_preserves_sources(self):
+        timeline = DriftTimeline(catalog(), [StepDrift("B", at=1.0, factor=3.0)])
+        specs = timeline.streams_at(2.0)
+        assert specs["B"].source == 1
+        assert specs["B"].rate == pytest.approx(120.0)
+        assert specs["A"] == catalog()["A"]
+
+    def test_unknown_stream_is_rejected(self):
+        with pytest.raises(ValueError):
+            DriftTimeline(catalog(), [StepDrift("NOPE", at=1.0, factor=2.0)])
+
+    def test_settle_time_ignores_periodic_events(self):
+        timeline = DriftTimeline(
+            catalog(),
+            [
+                StepDrift("A", at=5.0, factor=2.0),
+                RampDrift("B", start=3.0, end=12.0, factor=2.0),
+                PeriodicDrift("C", period=100.0, amplitude=0.3),
+            ],
+        )
+        assert timeline.settle_time() == 12.0
+
+
+class TestFactory:
+    def test_default_target_is_the_lowest_rate_stream(self):
+        timeline = drift_timeline(catalog(), kind="step", at=3.0, factor=5.0)
+        assert timeline.events == [StepDrift("C", at=3.0, factor=5.0)]
+
+    def test_ramp_and_periodic_kinds(self):
+        ramp = drift_timeline(
+            catalog(), kind="ramp", stream="A", at=2.0, duration=6.0, factor=3.0
+        )
+        assert ramp.events == [RampDrift("A", start=2.0, end=8.0, factor=3.0)]
+        periodic = drift_timeline(
+            catalog(), kind="periodic", stream="B", period=12.0, amplitude=0.4
+        )
+        assert isinstance(periodic.events[0], PeriodicDrift)
+        assert periodic.events[0].period == 12.0
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError):
+            drift_timeline(catalog(), kind="sawtooth")
