@@ -85,16 +85,20 @@ from repro.adaptive import (
     diff_deployments,
 )
 from repro.obs import (
+    CausalTracer,
     Counter,
     Gauge,
     Histogram,
     MetricRegistry,
+    NULL_CAUSAL,
     NULL_TRACER,
     PlanExplanation,
     Span,
+    TraceContext,
     Tracer,
     build_explanation,
 )
+from repro.perf import OpProfiler, profiled
 from repro.errors import (
     AdmissionError,
     CircuitOpenError,
@@ -119,6 +123,9 @@ from repro.resilience import (
     RetryPolicy,
 )
 from repro.serialization import (
+    causal_trace_from_json,
+    causal_trace_to_json,
+    chrome_trace_to_json,
     explanation_from_json,
     explanation_to_json,
     failure_report_from_json,
@@ -234,6 +241,11 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_TRACER",
+    "TraceContext",
+    "CausalTracer",
+    "NULL_CAUSAL",
+    "OpProfiler",
+    "profiled",
     "Counter",
     "Gauge",
     "Histogram",
@@ -267,6 +279,9 @@ __all__ = [
     "failure_report_from_json",
     "trace_to_json",
     "trace_from_json",
+    "causal_trace_to_json",
+    "causal_trace_from_json",
+    "chrome_trace_to_json",
     "explanation_to_json",
     "explanation_from_json",
     "network_to_json",

@@ -138,6 +138,7 @@ class AdaptivityLoop:
             drain_seconds=cfg.drain_seconds,
             seconds_per_byte=cfg.seconds_per_byte,
             simulate=cfg.simulate_cutover,
+            trace=getattr(service, "causal", None),
         )
         self._seen_topology = service.topology_epoch
         reg = service.registry

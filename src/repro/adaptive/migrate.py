@@ -303,6 +303,10 @@ class Migrator:
         seconds_per_byte: State-transfer transmission speed.
         simulate: Whether to run the cutover protocol at all.  Off, the
             swap is applied directly (unit tests of the swap logic).
+        trace: Optional :class:`~repro.obs.causal.CausalTracer`; when
+            given, every cutover forms one causal tree rooted at
+            ``migrate:<query name>``.  ``None`` (the default) keeps the
+            cutover byte-identical to an untraced build.
     """
 
     def __init__(
@@ -313,6 +317,7 @@ class Migrator:
         drain_seconds: float = 0.01,
         seconds_per_byte: float = 1e-6,
         simulate: bool = True,
+        trace=None,
     ) -> None:
         self.network = network
         self.faults = faults
@@ -320,6 +325,7 @@ class Migrator:
         self.drain_seconds = drain_seconds
         self.seconds_per_byte = seconds_per_byte
         self.simulate = simulate
+        self.trace = trace
 
     # ------------------------------------------------------------------
     def simulate_cutover(
@@ -354,7 +360,7 @@ class Migrator:
             # own middleware (storms, partitions) does.
             def outage_guard(src: int, dst: int, message, now: float):
                 if self.faults.unreachable(dst, now) or self.faults.unreachable(src, now):
-                    return ("drop",)
+                    return ("drop", "outage")
                 return None
 
             sim.add_send_middleware(outage_guard)
@@ -366,7 +372,17 @@ class Migrator:
         sim.now = start_time
         actor = sim.node(coordinator)
         assert isinstance(actor, _CutoverActor)
+        if self.trace is not None:
+            sim.attach_trace(self.trace)
+            self.trace.new_trace(
+                f"migrate:{diff.query}",
+                node=coordinator,
+                operators=len(diff.moved),
+                state_bytes=diff.total_state_bytes,
+            )
         sim.schedule(0.0, actor.begin)
+        if self.trace is not None:
+            self.trace.activate(None)
         sim.run()
         return CutoverTimeline(
             query_name=diff.query,

@@ -250,6 +250,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not 0 <= args.query < len(queries):
         print(f"error: --query must be in [0, {len(queries) - 1}]", file=sys.stderr)
         return 2
+    if args.causal or args.chrome:
+        return _cmd_trace_causal(args, network, workload, queries)
     rates = workload.rate_model()
     hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
     ads = repro.AdvertisementIndex(hierarchy)
@@ -277,6 +279,114 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(deployment.explanation.render())
     return 0
+
+
+def _cmd_trace_causal(args, network, workload, queries) -> int:
+    """``repro trace --causal``: one deployment's causal hop tree."""
+    import repro
+    from repro.obs import CausalTracer
+    from repro.runtime import simulate_deployment
+    from repro.serialization import causal_trace_to_json, chrome_trace_to_json
+
+    if args.algorithm not in ("top-down", "bottom-up"):
+        print("error: --causal requires a hierarchical algorithm "
+              "(top-down / bottom-up); only their deployments replay as "
+              "protocol traffic", file=sys.stderr)
+        return 2
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    for stream, spec in rates.streams.items():
+        ads.advertise_base(stream, spec.source)
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads
+    )
+    query = queries[args.query]
+    deployment = optimizer.plan(query, None)
+    causal = CausalTracer()
+    timeline = simulate_deployment(network, deployment, trace=causal, rates=rates)
+    if args.chrome:
+        print(chrome_trace_to_json(causal))
+        return 0
+    if args.json:
+        print(causal_trace_to_json(causal))
+        return 0
+    trace_id = causal.trace_ids()[0]
+    summary = causal.summary()
+    print(f"causal trace: {args.algorithm} deploying {query.name!r} "
+          f"on {len(network.nodes())} nodes")
+    print(f"  deployment took {timeline.duration * 1000:.1f} ms (virtual), "
+          f"{timeline.messages} messages, {timeline.tasks} planning tasks")
+    print(f"  hops {summary['hops']}  retransmissions "
+          f"{summary['retransmissions']}  dropped {summary['dropped']}")
+    print(f"  data-flow cost (sum of flow hop link_cost tags): "
+          f"{causal.flow_cost(trace_id):,.1f}/unit-time")
+    print()
+    print(causal.span_tree(trace_id).render(max_depth=args.max_depth))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.compare import compare_trajectory
+    from repro.perf.lab import PerfLab, append_entry, load_trajectory
+
+    if args.perf_command == "run":
+        try:
+            lab = PerfLab(cases=args.cases or None, repeats=args.repeats)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        entry = lab.run(label=args.label)
+        doc = append_entry(args.trajectory, entry)
+        print(f"perf lab: ran {len(entry['cases'])} case(s) x "
+              f"{args.repeats} repeat(s) -> {args.trajectory} "
+              f"({len(doc['entries'])} entries)")
+        for name, case in sorted(entry["cases"].items()):
+            ops = ", ".join(f"{k}={v}" for k, v in sorted(case["ops"].items()))
+            print(f"  {name}: {ops or 'no ops counted'} "
+                  f"[median {case['wall_seconds']['median'] * 1000:.1f} ms]")
+        return 0
+
+    try:
+        doc = load_trajectory(args.trajectory)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.perf_command == "report":
+        entries = doc.get("entries", [])
+        if args.json:
+            print(json.dumps(doc, indent=2))
+            return 0
+        print(f"perf trajectory: {args.trajectory} ({len(entries)} entries)")
+        for i, entry in enumerate(entries):
+            label = entry.get("label") or "-"
+            cases = entry.get("cases", {})
+            total_ops = sum(
+                sum(c.get("ops", {}).values()) for c in cases.values()
+            )
+            print(f"  [{i}] label={label} cases={len(cases)} "
+                  f"total_ops={total_ops}")
+        return 0
+
+    # compare
+    if not doc.get("entries"):
+        print(f"error: {args.trajectory} has no entries; "
+              "run `repro perf run` first", file=sys.stderr)
+        return 2
+    report = compare_trajectory(
+        doc,
+        op_threshold=args.op_threshold,
+        wall_threshold=args.wall_threshold,
+        baseline_window=args.window,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -663,6 +773,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="planners with span tracing + explain support")
     trace.add_argument("--json", action="store_true",
                        help="emit the trace and explanation as JSON")
+    trace.add_argument("--causal", action="store_true",
+                       help="replay the deployment protocol with causal "
+                            "tracing and show the cross-coordinator hop tree")
+    trace.add_argument("--chrome", action="store_true",
+                       help="emit the causal trace as Chrome trace-event "
+                            "JSON (implies --causal)")
+    trace.add_argument("--max-depth", type=int, default=None,
+                       help="depth bound for the rendered hop tree "
+                            "(pruned subtrees are marked)")
     trace.add_argument("--seed", type=int, default=None)
     trace.set_defaults(func=_cmd_trace)
 
@@ -749,6 +868,51 @@ def build_parser() -> argparse.ArgumentParser:
     adapt.add_argument("--emit-timeline", action="store_true",
                        help="emit the per-tick cost/migration timeline as JSON")
     adapt.set_defaults(func=_cmd_adapt)
+
+    perf = sub.add_parser(
+        "perf",
+        help="performance regression lab: run benchmarks, compare, report",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_run = perf_sub.add_parser(
+        "run", help="run the benchmark suite and append to the trajectory"
+    )
+    perf_run.add_argument("--label", default="",
+                          help="free-form label stored on the entry "
+                               "(e.g. a commit id)")
+    perf_run.add_argument("--repeats", type=int, default=3,
+                          help="repeats per case (op counts must agree)")
+    perf_run.add_argument("--cases", nargs="*", default=None,
+                          help="case names to run (default: the quick subset)")
+    perf_run.add_argument("--trajectory", default="BENCH_trajectory.json",
+                          help="trajectory file to append to")
+    perf_run.set_defaults(func=_cmd_perf)
+
+    perf_compare = perf_sub.add_parser(
+        "compare",
+        help="compare the latest entry against the median-of-N baseline",
+    )
+    perf_compare.add_argument("--trajectory", default="BENCH_trajectory.json")
+    perf_compare.add_argument("--op-threshold", type=float, default=0.25,
+                              help="relative op-count increase that fails "
+                                   "(0.25 = +25%%)")
+    perf_compare.add_argument("--wall-threshold", type=float, default=0.5,
+                              help="relative wall-median increase reported "
+                                   "(advisory only, never fails)")
+    perf_compare.add_argument("--window", type=int, default=5,
+                              help="prior entries in the median baseline")
+    perf_compare.add_argument("--json", action="store_true",
+                              help="emit the comparison report as JSON")
+    perf_compare.set_defaults(func=_cmd_perf)
+
+    perf_report = perf_sub.add_parser(
+        "report", help="summarize the stored trajectory"
+    )
+    perf_report.add_argument("--trajectory", default="BENCH_trajectory.json")
+    perf_report.add_argument("--json", action="store_true",
+                             help="emit the full trajectory document")
+    perf_report.set_defaults(func=_cmd_perf)
     return parser
 
 

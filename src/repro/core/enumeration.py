@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.perf import profiler as _perf
 from repro.query.plan import Join, Leaf, PlanNode
 from repro.query.query import Query
 from repro.utils import double_factorial_odd
@@ -42,7 +43,11 @@ def all_join_trees(views: Sequence[frozenset[str] | Iterable[str]]) -> list[Plan
         if union & leaf.view:
             raise ValueError("views must be pairwise disjoint")
         union |= leaf.view
-    return _trees_over(tuple(range(len(leaves))), leaves, {})
+    trees = _trees_over(tuple(range(len(leaves))), leaves, {})
+    prof = _perf.active()
+    if prof is not None:
+        prof.count("trees_enumerated", len(trees))
+    return trees
 
 
 def _trees_over(

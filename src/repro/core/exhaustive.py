@@ -21,6 +21,7 @@ from repro.core.bounds import exhaustive_space
 from repro.core.cost import RateModel
 from repro.core.enumeration import connected_join_trees
 from repro.core.placement import brute_force_tree_placement, nominal_assignments
+from repro.perf import profiler as _perf
 from repro.network.graph import Network
 from repro.obs.explain import build_explanation
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -198,6 +199,11 @@ class OptimalPlanner:
             split_of[subset] = choice
             tracer.incr("dp_subsets")
             tracer.incr("splits_considered", len(subset_splits))
+            prof = _perf.active()
+            if prof is not None:
+                prof.count("dp_subsets")
+                # Split scan over n nodes plus the n x n shipping scan.
+                prof.count("cost_evaluations", (len(subset_splits) + n) * n)
 
             # Compute option: produce somewhere, ship at the view's rate.
             arrival = produce[:, None] + rate * costs

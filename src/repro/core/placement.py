@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.perf import profiler as _perf
 from repro.query.plan import Join, Leaf, PlanNode
 
 
@@ -83,6 +84,10 @@ def optimal_tree_placement(
     if tracer is not None:
         tracer.incr("placements")
         tracer.incr("placement_dp_states", tree.num_joins * cand.size)
+    prof = _perf.active()
+    if prof is not None:
+        prof.count("placements")
+        prof.count("cost_evaluations", tree.num_joins * cand.size)
 
     # dp[node] over that node's *position set*: cost of producing the
     # subtree's output at the position (excluding shipment to parent).

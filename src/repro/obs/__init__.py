@@ -1,10 +1,15 @@
-"""Observability: span tracing, typed metrics, plan explanations.
+"""Observability: span tracing, causal tracing, typed metrics, explanations.
 
-Three layers, usable independently:
+Four layers, usable independently:
 
 * :mod:`repro.obs.tracer` -- nestable, taggable spans with a zero-cost
   no-op default (:data:`NULL_TRACER`); threaded through the optimizers,
   the advertisement index and the lifecycle service.
+* :mod:`repro.obs.causal` -- distributed causal tracing: a W3C-style
+  :class:`TraceContext` carried on runtime messages and propagated by
+  the simulator, so deployments, migrations and fault retransmissions
+  form per-query causal hop trees with per-link cost/delay accounting;
+  exportable as span trees, tagged JSON and Chrome trace events.
 * :mod:`repro.obs.metrics` -- a typed :class:`MetricRegistry`
   (:class:`Counter` / :class:`Gauge` / :class:`Histogram`) over the
   runtime's :class:`~repro.runtime.metrics.MetricsLog`, with Prometheus
@@ -13,10 +18,17 @@ Three layers, usable independently:
   from a deployment plus its span trace (``explain=True`` on the
   optimizer entry points, ``repro trace`` on the CLI).
 
-See ``docs/observability.md`` for the span model and metric naming
-scheme.
+See ``docs/observability.md`` for the span and causal models and the
+metric naming scheme.
 """
 
+from repro.obs.causal import (
+    NULL_CAUSAL,
+    CausalTracer,
+    Hop,
+    NullCausalTracer,
+    TraceContext,
+)
 from repro.obs.explain import PlanExplanation, build_explanation
 from repro.obs.metrics import (
     Counter,
@@ -32,6 +44,11 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TraceContext",
+    "Hop",
+    "CausalTracer",
+    "NullCausalTracer",
+    "NULL_CAUSAL",
     "Counter",
     "Gauge",
     "Histogram",

@@ -27,6 +27,7 @@ usual tagged-JSON envelope.
 
 from __future__ import annotations
 
+import contextvars
 import time
 from typing import Any, Callable, Iterator
 
@@ -55,15 +56,13 @@ class Span:
         tracer = self._tracer
         if tracer is None:
             raise RuntimeError("span was not created by a live tracer")
-        parent = tracer._stack[-1] if tracer._stack else None
-        (parent.children if parent is not None else tracer.roots).append(self)
-        tracer._stack.append(self)
+        tracer._push(self)
         self.start = tracer._clock()
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.end = self._tracer._clock()  # type: ignore[union-attr]
-        self._tracer._stack.pop()  # type: ignore[union-attr]
+        self._tracer._pop(self)  # type: ignore[union-attr]
 
     # -- annotation ---------------------------------------------------
     def tag(self, **tags: Any) -> "Span":
@@ -120,7 +119,12 @@ class Span:
 
     # -- rendering ----------------------------------------------------
     def render(self, max_depth: int | None = None) -> str:
-        """Indented text tree of the span and its descendants."""
+        """Indented text tree of the span and its descendants.
+
+        ``max_depth`` bounds the tree depth shown; a subtree cut off by
+        the bound is summarized as an explicit ``… (+N pruned)`` line
+        (N descendants hidden) rather than silently dropped.
+        """
         lines: list[str] = []
 
         def fmt(value: Any) -> str:
@@ -129,13 +133,15 @@ class Span:
             return str(value)
 
         def walk(span: Span, depth: int) -> None:
-            if max_depth is not None and depth > max_depth:
-                return
             parts = [span.name]
             parts += [f"{k}={fmt(v)}" for k, v in span.tags.items()]
             parts += [f"{k}={fmt(v)}" for k, v in sorted(span.counters.items())]
             parts.append(f"[{span.duration * 1000:.2f} ms]")
             lines.append("  " * depth + " ".join(parts))
+            if span.children and max_depth is not None and depth >= max_depth:
+                pruned = sum(1 for _ in span.walk()) - 1
+                lines.append("  " * (depth + 1) + f"… (+{pruned} pruned)")
+                return
             for child in span.children:
                 walk(child, depth + 1)
 
@@ -149,6 +155,14 @@ class Span:
 class Tracer:
     """Collects span trees; the enabled implementation.
 
+    The active-span stack lives in a :class:`contextvars.ContextVar`,
+    so concurrent callers (threads, asyncio tasks, any
+    ``contextvars``-aware executor) each see their own stack: a span
+    entered in one context can never be popped -- or parented under --
+    by another, while all contexts still collect into the shared
+    ``roots`` list.  Within one context the discipline is strictly
+    LIFO, exactly as before.
+
     Args:
         clock: Monotonic time source (seconds); ``time.perf_counter``
             by default, injectable for deterministic tests.
@@ -158,8 +172,29 @@ class Tracer:
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
-        self._stack: list[Span] = []
+        self._stack_var: contextvars.ContextVar[tuple[Span, ...]] = (
+            contextvars.ContextVar("repro_span_stack", default=())
+        )
         self.roots: list[Span] = []
+
+    @property
+    def _stack(self) -> tuple[Span, ...]:
+        """This context's open-span stack (innermost last)."""
+        return self._stack_var.get()
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack_var.get()
+        parent = stack[-1] if stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack_var.set(stack + (span,))
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack_var.get()
+        if not stack or stack[-1] is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {span.name!r} exited out of order for this context"
+            )
+        self._stack_var.set(stack[:-1])
 
     def span(self, name: str, **tags: Any) -> Span:
         """A new span; attach/nest it by entering its context manager."""
@@ -167,18 +202,21 @@ class Tracer:
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, or ``None``."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span in this context, or ``None``."""
+        stack = self._stack_var.get()
+        return stack[-1] if stack else None
 
     def incr(self, key: str, amount: float = 1) -> None:
         """Add to a counter on the current span (no-op when none open)."""
-        if self._stack:
-            self._stack[-1].incr(key, amount)
+        stack = self._stack_var.get()
+        if stack:
+            stack[-1].incr(key, amount)
 
     def tag(self, **tags: Any) -> None:
         """Tag the current span (no-op when none open)."""
-        if self._stack:
-            self._stack[-1].tag(**tags)
+        stack = self._stack_var.get()
+        if stack:
+            stack[-1].tag(**tags)
 
     @property
     def last_root(self) -> Span | None:

@@ -1,0 +1,37 @@
+"""Performance regression lab: op-count profiling, benchmarks, comparison.
+
+The package root stays import-light on purpose -- the hot-path hook
+sites (``runtime/simulator.py``, ``core/placement.py``, ...) import
+:mod:`repro.perf.profiler` at module load, so this ``__init__`` must
+not pull in the service stack.  :class:`PerfLab` and the comparator are
+exposed lazily (PEP 562).
+"""
+
+from __future__ import annotations
+
+from repro.perf.profiler import OpProfiler, active, profiled
+
+__all__ = [
+    "OpProfiler",
+    "active",
+    "profiled",
+    "PerfLab",
+    "compare_trajectory",
+    "load_trajectory",
+]
+
+_LAZY = {
+    "PerfLab": ("repro.perf.lab", "PerfLab"),
+    "compare_trajectory": ("repro.perf.compare", "compare_trajectory"),
+    "load_trajectory": ("repro.perf.lab", "load_trajectory"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

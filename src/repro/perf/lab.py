@@ -1,0 +1,260 @@
+"""The performance regression lab: curated benchmarks with a trajectory.
+
+A :class:`PerfLab` runs a small, seeded benchmark suite over the
+planners and the service tick loop, with the op-count profiler
+installed.  Each case runs ``repeats`` times; op counts must be
+*identical* across repeats (they are functions of the seeds alone --
+any difference is a determinism bug and raises), while wall-clock
+durations are summarized per repeat and kept advisory.
+
+Results append to ``BENCH_trajectory.json`` -- one entry per run, so
+the file accumulates a performance trajectory across commits that
+:mod:`repro.perf.compare` can test new runs against.
+
+Cases (the ``quick`` subset is what CI runs):
+
+* ``plan_top_down`` / ``plan_bottom_up`` -- hierarchical planning over
+  a 32-node transit-stub workload; counts trees enumerated, placements,
+  DP cost evaluations.
+* ``plan_optimal`` -- the flat optimal planner on a smaller workload
+  (its enumeration explodes combinatorially by design).
+* ``deploy_protocol`` -- deployment-protocol replay; counts messages.
+* ``service_churn`` -- lifecycle-service ticks under churn; counts
+  cache probes and ticks, samples per-tick wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.perf.profiler import OpProfiler, profiled
+
+TRAJECTORY_KIND = "repro.perf_trajectory"
+TRAJECTORY_VERSION = 1
+DEFAULT_TRAJECTORY = "BENCH_trajectory.json"
+
+
+# ----------------------------------------------------------------------
+# Benchmark cases (each builds its own seeded environment per repeat)
+# ----------------------------------------------------------------------
+def _hier_env(num_nodes: int = 32, num_queries: int = 8, seed: int = 7):
+    from repro.core.cost import RateModel  # noqa: F401 - typing aid
+    from repro.hierarchy import build_hierarchy
+    from repro.network.topology import transit_stub_by_size
+    from repro.workload import WorkloadParams, generate_workload
+
+    net = transit_stub_by_size(num_nodes, seed=seed)
+    workload = generate_workload(
+        net,
+        WorkloadParams(
+            num_streams=10, num_queries=num_queries, joins_per_query=(2, 4)
+        ),
+        seed=seed + 1,
+    )
+    hierarchy = build_hierarchy(net, max_cs=6, seed=0)
+    return net, workload, workload.rate_model(), hierarchy
+
+
+def _case_plan_hierarchical(algorithm: str) -> Callable[[], OpProfiler]:
+    def run() -> OpProfiler:
+        from repro.core import make_optimizer
+
+        net, workload, rates, hierarchy = _hier_env()
+        with profiled() as prof:
+            for query in workload:
+                optimizer = make_optimizer(
+                    algorithm, net, rates, hierarchy=hierarchy
+                )
+                with prof.sample("plan"):
+                    optimizer.plan(query)
+        return prof
+
+    return run
+
+
+def _case_plan_optimal() -> OpProfiler:
+    from repro.core import make_optimizer
+    from repro.network.topology import transit_stub_by_size
+    from repro.workload import WorkloadParams, generate_workload
+
+    net = transit_stub_by_size(16, seed=5)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=6, num_queries=4, joins_per_query=(2, 3)),
+        seed=6,
+    )
+    rates = workload.rate_model()
+    with profiled() as prof:
+        for query in workload:
+            optimizer = make_optimizer("optimal", net, rates)
+            with prof.sample("plan"):
+                optimizer.plan(query)
+    return prof
+
+
+def _case_deploy_protocol() -> OpProfiler:
+    from repro.core import make_optimizer
+    from repro.runtime import simulate_deployment
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=6)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    deployments = [optimizer.plan(q) for q in workload]
+    with profiled() as prof:
+        for deployment in deployments:
+            with prof.sample("deploy"):
+                timeline = simulate_deployment(net, deployment)
+            prof.count("protocol_tasks", timeline.tasks)
+    return prof
+
+
+def _case_service_churn() -> OpProfiler:
+    from repro.core import make_optimizer
+    from repro.service import AdmissionController, StreamQueryService
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    service = StreamQueryService(
+        optimizer,
+        net,
+        rates,
+        hierarchy=hierarchy,
+        admission=AdmissionController(budget=4, max_per_tick=2),
+    )
+    with profiled() as prof:
+        for i, query in enumerate(workload):
+            service.submit(query, lifetime=4.0 + (i % 3))
+        for _ in range(30):
+            service.tick()
+        # Resubmissions hit the plan cache: probe traffic without plans.
+        from repro.query.query import Query
+
+        for query in list(workload)[:4]:
+            renamed = Query(
+                query.name + "_again",
+                sources=query.sources,
+                sink=query.sink,
+                predicates=query.predicates,
+                filters=query.filters,
+                window=query.window,
+            )
+            service.submit(renamed, lifetime=2.0)
+        for _ in range(10):
+            service.tick()
+    return prof
+
+
+CASES: dict[str, Callable[[], OpProfiler]] = {
+    "plan_top_down": _case_plan_hierarchical("top-down"),
+    "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
+    "plan_optimal": _case_plan_optimal,
+    "deploy_protocol": _case_deploy_protocol,
+    "service_churn": _case_service_churn,
+}
+
+#: The subset CI runs on every push (all of them -- the suite is sized
+#: to finish in seconds; split this if cases ever grow expensive).
+QUICK_CASES = tuple(CASES)
+
+
+class PerfLab:
+    """Runs the benchmark suite and appends to the trajectory file.
+
+    Args:
+        cases: Case names to run (default: the quick subset).
+        repeats: Times each case runs.  Op counts must agree across
+            repeats; wall clock is summarized over them.
+        clock: Wall-clock source for whole-case timing (injectable for
+            deterministic tests).
+    """
+
+    def __init__(
+        self,
+        cases: list[str] | tuple[str, ...] | None = None,
+        repeats: int = 3,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        names = list(cases) if cases is not None else list(QUICK_CASES)
+        unknown = [n for n in names if n not in CASES]
+        if unknown:
+            raise ValueError(
+                f"unknown perf cases {unknown!r}; available: {sorted(CASES)}"
+            )
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.cases = names
+        self.repeats = repeats
+        self._clock = clock
+
+    # ------------------------------------------------------------------
+    def run_case(self, name: str) -> dict[str, Any]:
+        """Run one case ``repeats`` times; verify op-count determinism."""
+        runner = CASES[name]
+        ops: dict[str, int] | None = None
+        walls: list[float] = []
+        for _ in range(self.repeats):
+            start = self._clock()
+            prof = runner()
+            walls.append(self._clock() - start)
+            snap = prof.snapshot()
+            if ops is None:
+                ops = snap["ops"]
+            elif ops != snap["ops"]:
+                raise RuntimeError(
+                    f"perf case {name!r} is non-deterministic: "
+                    f"{ops} != {snap['ops']}"
+                )
+        assert ops is not None
+        ordered = sorted(walls)
+        return {
+            "ops": ops,
+            "wall_seconds": {
+                "repeats": walls,
+                "median": ordered[len(ordered) // 2],
+                "min": ordered[0],
+                "max": ordered[-1],
+            },
+        }
+
+    def run(self, label: str = "") -> dict[str, Any]:
+        """Run every configured case; return one trajectory entry."""
+        entry: dict[str, Any] = {
+            "label": label,
+            "timestamp": time.time(),
+            "repeats": self.repeats,
+            "cases": {},
+        }
+        for name in self.cases:
+            entry["cases"][name] = self.run_case(name)
+        return entry
+
+
+# ----------------------------------------------------------------------
+# Trajectory file I/O
+# ----------------------------------------------------------------------
+def load_trajectory(path: str | Path) -> dict[str, Any]:
+    """Load (or initialize) the trajectory document at ``path``."""
+    path = Path(path)
+    if not path.exists():
+        return {
+            "kind": TRAJECTORY_KIND,
+            "version": TRAJECTORY_VERSION,
+            "entries": [],
+        }
+    doc = json.loads(path.read_text())
+    if doc.get("kind") != TRAJECTORY_KIND:
+        raise ValueError(
+            f"not a perf trajectory: kind={doc.get('kind')!r} in {path}"
+        )
+    return doc
+
+
+def append_entry(path: str | Path, entry: dict[str, Any]) -> dict[str, Any]:
+    """Append one run to the trajectory file; returns the document."""
+    path = Path(path)
+    doc = load_trajectory(path)
+    doc["entries"].append(entry)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc

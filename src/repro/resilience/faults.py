@@ -430,20 +430,23 @@ class FaultInjector:
     ) -> tuple | None:
         """Middleware decision for one simulator message.
 
-        Returns ``None`` (deliver normally), ``("drop",)``,
+        Returns ``None`` (deliver normally), ``("drop", reason)``,
         ``("delay", extra_seconds)`` or ``("duplicate", extra_delay)``.
-        Partition windows drop cross-group messages outright.
+        Partition windows drop cross-group messages outright.  The drop
+        reason (``"partition"`` / ``"storm"``) is extra trailing context
+        for the causal tracer; the simulator dispatches on ``action[0]``
+        only, so pre-reason consumers are unaffected.
         """
         if self.partitioned(src, dst, now):
             self.messages_dropped += 1
-            return ("drop",)
+            return ("drop", "partition")
         for event in self.plan.events:
             if not isinstance(event, MessageStorm) or not self._in_window(event, now):
                 continue
             draw = float(self.rng.random())
             if draw < event.drop:
                 self.messages_dropped += 1
-                return ("drop",)
+                return ("drop", "storm")
             if draw < event.drop + event.duplicate:
                 self.messages_duplicated += 1
                 return ("duplicate", float(self.rng.uniform(0.0, event.delay_spread)))

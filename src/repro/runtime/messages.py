@@ -1,8 +1,18 @@
-"""Protocol message vocabulary for the deployment protocol simulation."""
+"""Protocol message vocabulary for the deployment protocol simulation.
+
+Every message optionally carries a causal :class:`~repro.obs.causal.TraceContext`
+stamp.  The stamp is excluded from equality, hashing and repr, so stamped
+and unstamped messages compare equal -- delivery deduplication and the
+byte-identical-with-tracing-disabled contract both rely on this.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.causal import TraceContext
 
 @dataclass(frozen=True)
 class QuerySubmit:
@@ -15,6 +25,7 @@ class QuerySubmit:
 
     query_name: str
     sink: int
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -28,6 +39,7 @@ class PlanRequest:
 
     query_name: str
     task_index: int
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -41,6 +53,7 @@ class DeployCommand:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -49,6 +62,7 @@ class DeployAck:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,7 @@ class Advertisement:
 
     view_label: str
     node: int
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------------
@@ -82,6 +97,7 @@ class PauseCommand:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -90,6 +106,7 @@ class PauseAck:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -107,6 +124,7 @@ class TransferCommand:
     operator_label: str
     dest: int
     nbytes: float
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -116,6 +134,7 @@ class StateChunk:
     query_name: str
     operator_label: str
     nbytes: float
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -124,6 +143,7 @@ class StateAck:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -132,6 +152,7 @@ class ResumeCommand:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -140,3 +161,4 @@ class ResumeAck:
 
     query_name: str
     operator_label: str
+    trace: "TraceContext | None" = field(default=None, compare=False, repr=False)

@@ -35,8 +35,8 @@ implementation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 from repro.network.graph import Network
 from repro.query.deployment import Deployment
@@ -44,6 +44,9 @@ from repro.resilience.faults import NULL_FAULTS
 from repro.resilience.policy import RetryPolicy
 from repro.runtime.messages import DeployAck, DeployCommand, PlanRequest, QuerySubmit
 from repro.runtime.simulator import SimNode, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.causal import CausalTracer
 
 DEFAULT_SECONDS_PER_PLAN = 2e-5
 """Calibrated coordinator search speed: seconds per (tree, assignment)
@@ -87,6 +90,7 @@ class DeploymentTimeline:
 class _TaskDone:
     query_name: str
     task_index: int
+    trace: object | None = field(default=None, compare=False, repr=False)
 
 
 class _Context:
@@ -230,6 +234,8 @@ def simulate_deployment(
     start_time: float = 0.0,
     faults=NULL_FAULTS,
     retry: RetryPolicy | None = None,
+    trace: "CausalTracer | None" = None,
+    rates=None,
 ) -> DeploymentTimeline:
     """Replay a deployment's planning protocol; return its timeline.
 
@@ -246,6 +252,16 @@ def simulate_deployment(
         retry: Retransmission policy under faults
             (:data:`PROTOCOL_RETRY` when omitted).  Ignored without
             fault injection.
+        trace: Causal tracer; when given, the whole deployment -- the
+            submission relay, every protocol message, retransmissions
+            -- lands in one causal tree rooted at
+            ``deploy:<query name>``.  ``None`` (the default) keeps the
+            simulation byte-identical to an untraced build.
+        rates: Optional :class:`~repro.core.cost.RateModel`; with
+            ``trace``, the plan's data-flow edges are recorded as
+            costed hops under the same root, so the tree's flow
+            ``link_cost`` tags sum to the deployment's communication
+            cost.
 
     Raises:
         ValueError: If the deployment carries no task trace.
@@ -260,6 +276,15 @@ def simulate_deployment(
     sim.now = start_time
 
     sink = deployment.query.sink
+    root_ctx = None
+    if trace is not None:
+        sim.attach_trace(trace)
+        root_ctx = trace.new_trace(
+            f"deploy:{deployment.query.name}",
+            node=sink,
+            optimizer=deployment.stats.get("algorithm"),
+            est_cost=deployment.stats.get("est_cost"),
+        )
     # The submission is relayed hop by hop along the sink's coordinator
     # chain (Top-Down climbs to the root; Bottom-Up stops at its leaf
     # cluster's coordinator), ending at the first planning task's node.
@@ -268,17 +293,36 @@ def simulate_deployment(
         chain.append(ctx.trace[0]["node"])
     hops = [sink] + chain
     delay = 0.0
+    relay_parent = root_ctx
     for a, b in zip(hops[:-1], hops[1:]):
         if a != b:
-            delay += network.path_delay(a, b)
+            hop_delay = network.path_delay(a, b)
+            delay += hop_delay
             sim.messages_delivered += 1
+            if trace is not None:
+                relay = trace.record_hop(
+                    "QuerySubmit", a, b, time=start_time + delay - hop_delay,
+                    parent=relay_parent,
+                    link_cost=float(network.cost_matrix()[a, b]),
+                    link_delay=hop_delay, relay=True,
+                )
+                relay_parent = relay.context
+    if trace is not None:
+        # The first planning task is caused by the last relay hop.
+        trace.activate(relay_parent)
     sim.schedule(
         delay,
         lambda: sim.node(ctx.trace[0]["node"]).on_message(
             sink, QuerySubmit(deployment.query.name, sink)
         ),
     )
+    if trace is not None:
+        trace.activate(None)
     sim.run()
+    if trace is not None and rates is not None:
+        trace.record_flows(
+            deployment, network.cost_matrix(), rates, parent=root_ctx
+        )
     if ctx.finish_time is None:
         raise RuntimeError(
             "protocol simulation never completed"

@@ -10,14 +10,26 @@ Send *middleware* (see :meth:`Simulator.add_send_middleware`) lets a
 fault injector intercept every message and drop, delay or duplicate it.
 With no middleware registered (the default), :meth:`Simulator.send`
 takes the exact pre-middleware fast path, byte for byte.
+
+A :class:`~repro.obs.causal.CausalTracer` attached via
+:meth:`Simulator.attach_trace` observes every send: messages get
+stamped with a child :class:`~repro.obs.causal.TraceContext`, scheduled
+continuations are bound to the context active when they were scheduled,
+and drops/deliveries/extra delays are accounted on the recorded hop.
+With no tracer attached (the default) all of this is skipped and
+behavior is byte-identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.network.graph import Network
+from repro.perf import profiler as _perf
 from repro.runtime.events import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.causal import CausalTracer
 
 
 class Simulator:
@@ -37,6 +49,11 @@ class Simulator:
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self._middleware: list[Callable[[int, int, Any, float], tuple | None]] = []
+        self._trace: "CausalTracer | None" = None
+
+    def attach_trace(self, tracer: "CausalTracer | None") -> None:
+        """Attach (or detach, with ``None``) a causal tracer."""
+        self._trace = tracer
 
     def add_send_middleware(
         self, middleware: Callable[[int, int, Any, float], tuple | None]
@@ -64,9 +81,16 @@ class Simulator:
         return self._nodes[node_id]
 
     def schedule(self, delay: float, action: Callable[[], Any]) -> None:
-        """Run ``action`` after ``delay`` seconds of virtual time."""
+        """Run ``action`` after ``delay`` seconds of virtual time.
+
+        With a causal tracer attached, the action is bound to the trace
+        context active *now*, so local continuations (planning compute,
+        drain timers, retransmission timers) keep their causal parent.
+        """
         if delay < 0:
             raise ValueError("delay must be non-negative")
+        if self._trace is not None:
+            action = self._trace.bind(action)
         self._queue.push(self.now + delay, action)
 
     def send(self, src: int, dst: int, message: Any, extra_delay: float = 0.0) -> None:
@@ -74,10 +98,26 @@ class Simulator:
         if dst not in self._nodes:
             raise KeyError(f"no actor registered at node {dst}")
         delay = self.network.path_delay(src, dst) if src != dst else 0.0
+        prof = _perf.active()
+        if prof is not None:
+            prof.count("messages")
+        hop = None
+        if self._trace is not None:
+            message, hop = self._trace.on_send(self, src, dst, message, delay)
+            if extra_delay:
+                self._trace.on_extra_delay(hop, extra_delay)
 
         def deliver() -> None:
             self.messages_delivered += 1
-            self._nodes[dst].on_message(src, message)
+            if hop is not None:
+                self._trace.on_deliver(hop, self.now)
+                prev = self._trace.activate(hop.context)
+                try:
+                    self._nodes[dst].on_message(src, message)
+                finally:
+                    self._trace.deactivate(prev)
+            else:
+                self._nodes[dst].on_message(src, message)
 
         if self._middleware:
             for middleware in self._middleware:
@@ -87,16 +127,24 @@ class Simulator:
                 kind = action[0]
                 if kind == "drop":
                     self.messages_dropped += 1
+                    if hop is not None:
+                        self._trace.on_drop(
+                            hop, action[1] if len(action) > 1 else None
+                        )
                     return
                 if kind == "delay":
                     extra_delay += float(action[1])
+                    if hop is not None:
+                        self._trace.on_extra_delay(hop, float(action[1]))
                 elif kind == "duplicate":
                     self.messages_duplicated += 1
-                    self.schedule(delay + extra_delay + float(action[1]), deliver)
+                    self._queue.push(
+                        self.now + delay + extra_delay + float(action[1]), deliver
+                    )
                 else:  # pragma: no cover - defensive
                     raise ValueError(f"unknown middleware action {action!r}")
                 break
-        self.schedule(delay + extra_delay, deliver)
+        self._queue.push(self.now + delay + extra_delay, deliver)
 
     def run(self, until: float | None = None, max_events: int = 1_000_000) -> float:
         """Process events (optionally up to virtual time ``until``).

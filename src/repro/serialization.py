@@ -236,6 +236,38 @@ def trace_from_json(text: str) -> Span:
     return Span.from_dict(doc["root"])
 
 
+def causal_trace_to_json(tracer) -> str:
+    """Serialize a :class:`repro.obs.causal.CausalTracer`'s hop trees."""
+    doc = {
+        "kind": "repro.causal_trace",
+        "version": FORMAT_VERSION,
+        **tracer.to_dict(),
+        "summary": tracer.summary(),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def causal_trace_from_json(text: str) -> dict[str, Any]:
+    """Parse a causal trace serialized by :func:`causal_trace_to_json`.
+
+    Returns the plain document (traces with their hop dicts); hop trees
+    are data at this point, not live tracer state.
+    """
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.causal_trace":
+        raise ValueError(f"not a serialized causal trace: kind={doc.get('kind')!r}")
+    return doc
+
+
+def chrome_trace_to_json(tracer) -> str:
+    """Export a causal tracer's hops as Chrome trace-event JSON.
+
+    The result loads directly into ``chrome://tracing`` or Perfetto
+    (trace-event array format; no ``kind`` envelope, by design).
+    """
+    return json.dumps(tracer.chrome_trace(), indent=2)
+
+
 def explanation_to_json(explanation: PlanExplanation) -> str:
     """Serialize a plan explanation (as from ``plan(..., explain=True)``)."""
     doc = {

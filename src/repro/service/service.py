@@ -47,6 +47,7 @@ from repro.hierarchy.hierarchy import Hierarchy
 from repro.network.graph import Network
 from repro.obs.metrics import MetricRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.perf import profiler as _perf
 from repro.query.deployment import Deployment
 from repro.query.query import Query
 from repro.resilience.degradation import ResilienceConfig, ResilientControl
@@ -163,6 +164,12 @@ class StreamQueryService:
             step.  With ``None`` (the default) no monitor, instruments
             or hooks exist and behavior is byte-identical to before the
             subsystem existed (same contract as ``resilience``).
+        causal: Optional :class:`~repro.obs.causal.CausalTracer`
+            recording cross-coordinator message hops (migration
+            cutovers driven by the adaptivity loop; deployment-protocol
+            replays when callers pass ``service.causal`` through to
+            :func:`~repro.runtime.protocol.simulate_deployment`).
+            ``None`` (the default) leaves every simulator untraced.
     """
 
     def __init__(
@@ -180,11 +187,13 @@ class StreamQueryService:
         resilience: ResilienceConfig | None = None,
         faults=None,
         adaptivity: AdaptivityConfig | AdaptivityLoop | None = None,
+        causal=None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
         self.hierarchy = hierarchy
         self.ads = ads
+        self.causal = causal
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if self.tracer.enabled:
             opt_tracer = getattr(optimizer, "tracer", None)
@@ -427,6 +436,14 @@ class StreamQueryService:
         submission queue into freed capacity (FIFO, bounded by the
         controller's per-tick limit), then records the service gauges.
         """
+        prof = _perf.active()
+        if prof is None:
+            return self._tick(time)
+        prof.count("service_ticks")
+        with prof.sample("service_tick"):
+            return self._tick(time)
+
+    def _tick(self, time: float | None = None) -> TickReport:
         now = float(time) if time is not None else self.engine.clock + 1.0
         self.engine.clock = now
         if self.resilience is not None:

@@ -1,0 +1,210 @@
+"""Causal tracer: contexts, hops, trees, exports, flow-cost accounting."""
+
+import pytest
+
+from repro.core import TopDownOptimizer
+from repro.core.cost import deployment_cost
+from repro.hierarchy import build_hierarchy
+from repro.network.topology import transit_stub_by_size
+from repro.obs import NULL_CAUSAL, CausalTracer, TraceContext
+from repro.runtime import simulate_deployment
+from repro.runtime.messages import DeployCommand
+from repro.runtime.simulator import Simulator, SimNode
+from repro.serialization import (
+    causal_trace_from_json,
+    causal_trace_to_json,
+    chrome_trace_to_json,
+)
+from repro.workload import WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = transit_stub_by_size(32, seed=2)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=8, num_queries=6, joins_per_query=(2, 4)),
+        seed=3,
+    )
+    rates = workload.rate_model()
+    hierarchy = build_hierarchy(net, max_cs=4, seed=0)
+    deployment = TopDownOptimizer(hierarchy, rates).plan(workload.queries[0])
+    return net, rates, deployment
+
+
+class TestTraceContext:
+    def test_child_links_and_counts_hops(self):
+        root = TraceContext(trace_id="t", span_id="a")
+        child = root.child("b")
+        grandchild = child.child("c")
+        assert child.trace_id == "t"
+        assert child.parent_id == "a"
+        assert child.hop == 1
+        assert grandchild.parent_id == "b"
+        assert grandchild.hop == 2
+
+    def test_is_frozen_and_json_ready(self):
+        ctx = TraceContext(trace_id="t", span_id="a")
+        with pytest.raises(AttributeError):
+            ctx.span_id = "other"
+        assert ctx.to_dict() == {
+            "trace_id": "t", "span_id": "a", "parent_id": None, "hop": 0,
+        }
+
+
+class TestCausalTracerUnits:
+    def test_ids_are_deterministic(self):
+        def collect():
+            tracer = CausalTracer()
+            tracer.new_trace("deploy:q", node=3)
+            tracer.record_hop("QuerySubmit", 3, 5, time=0.0)
+            tracer.record_hop("PlanRequest", 5, 7, time=1.0)
+            return [h.context.span_id for h in tracer.hops]
+
+        assert collect() == collect()
+
+    def test_record_hop_parents_under_active_context(self):
+        tracer = CausalTracer()
+        root = tracer.new_trace("deploy:q", node=3, est_cost=12.5)
+        hop = tracer.record_hop("QuerySubmit", 3, 5, time=0.0, link_delay=0.01)
+        assert hop.context.trace_id == root.trace_id
+        assert hop.context.parent_id == root.span_id
+        assert hop.deliver_time == pytest.approx(0.01)
+        assert tracer.trace_ids() == [root.trace_id]
+
+    def test_record_hop_without_context_opens_a_root(self):
+        tracer = CausalTracer()
+        hop = tracer.record_hop("DeployCommand", 1, 2, time=0.0)
+        assert hop.context.parent_id is None
+        assert tracer.trace_ids() == [hop.context.trace_id]
+
+    def test_span_tree_carries_hop_tags(self):
+        tracer = CausalTracer()
+        tracer.new_trace("deploy:q", node=3)
+        tracer.record_hop("QuerySubmit", 3, 5, time=0.0, link_cost=4.0)
+        tree = tracer.span_tree(tracer.trace_ids()[0])
+        assert tree.name == "deploy:q"
+        (child,) = tree.children
+        assert child.name == "QuerySubmit"
+        assert child.tags["src"] == 3
+        assert child.tags["dst"] == 5
+        assert child.tags["link_cost"] == 4.0
+        assert tracer.span_tree(tracer.trace_ids()[0]).render()
+
+    def test_span_tree_unknown_trace_raises(self):
+        with pytest.raises(KeyError):
+            CausalTracer().span_tree("nope")
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_CAUSAL.enabled
+        assert NULL_CAUSAL.trace_ids() == []
+        assert NULL_CAUSAL.summary()["hops"] == 0
+
+
+class TestSimulatorIntegration:
+    def make_sim(self, net):
+        sim = Simulator(net)
+
+        class Sink(SimNode):
+            def on_message(self, src, message):
+                pass
+
+        for node in net.nodes():
+            sim.register(Sink(node))
+        return sim
+
+    def test_on_send_stamps_messages_and_records_cost(self):
+        net = transit_stub_by_size(16, seed=1)
+        sim = self.make_sim(net)
+        tracer = CausalTracer()
+        sim.attach_trace(tracer)
+        root = tracer.new_trace("deploy:q", node=0)
+        sim.send(0, 5, DeployCommand("q", "op1"))
+        sim.run()
+        (root_hop, hop) = tracer.hops
+        assert hop.kind == "DeployCommand"
+        assert hop.context.trace_id == root.trace_id
+        assert hop.link_cost == pytest.approx(float(net.cost_matrix()[0, 5]))
+        assert hop.link_delay == pytest.approx(net.path_delay(0, 5))
+        assert hop.deliveries == 1
+        assert hop.deliver_time == pytest.approx(hop.send_time + hop.link_delay)
+
+    def test_resend_is_a_retransmit_under_the_original(self):
+        net = transit_stub_by_size(16, seed=1)
+        sim = self.make_sim(net)
+        tracer = CausalTracer()
+        sim.attach_trace(tracer)
+        tracer.new_trace("deploy:q", node=0)
+        message = DeployCommand("q", "op1")
+        sim.send(0, 5, message)
+        sim.send(0, 5, DeployCommand("q", "op1"))  # same identity, new object
+        sim.run()
+        _, first, resend = tracer.hops
+        assert not first.retransmit
+        assert first.retransmit_count == 1
+        assert resend.retransmit
+        assert resend.context.trace_id == first.context.trace_id
+        assert resend.context.parent_id == first.context.span_id
+        assert tracer.retransmissions() == 1
+        # one tree, no fresh roots
+        assert len(tracer.trace_ids()) == 1
+
+
+class TestFlowAccounting:
+    def test_flow_hops_sum_to_communication_cost(self, env):
+        net, rates, deployment = env
+        tracer = CausalTracer()
+        simulate_deployment(net, deployment, trace=tracer, rates=rates)
+        (trace_id,) = tracer.trace_ids()
+        expected = deployment_cost(deployment, net.cost_matrix(), rates)
+        assert tracer.flow_cost(trace_id) == pytest.approx(expected, rel=0, abs=1e-9)
+
+    def test_every_hop_lands_in_the_single_deploy_tree(self, env):
+        net, rates, deployment = env
+        tracer = CausalTracer()
+        timeline = simulate_deployment(net, deployment, trace=tracer, rates=rates)
+        (trace_id,) = tracer.trace_ids()
+        assert all(h.context.trace_id == trace_id for h in tracer.hops)
+        tree = tracer.span_tree(trace_id)
+        assert tree.name == f"deploy:{deployment.query.name}"
+        # the whole tree hangs off one root: every span is reachable
+        assert sum(1 for _ in tree.walk()) == len(tracer.hops)
+        # every delivery the simulator counted is on some non-flow hop
+        # (the synthetic root contributes none, flow hops are costed
+        # edges, relays count one each)
+        delivered = sum(
+            h.deliveries for h in tracer.hops if not h.tags.get("flow")
+        )
+        assert delivered == timeline.messages
+
+
+class TestExports:
+    def test_json_envelope_round_trips(self, env):
+        net, rates, deployment = env
+        tracer = CausalTracer()
+        simulate_deployment(net, deployment, trace=tracer, rates=rates)
+        doc = causal_trace_from_json(causal_trace_to_json(tracer))
+        assert doc["kind"] == "repro.causal_trace"
+        (trace,) = doc["traces"]
+        assert trace["flow_cost"] == pytest.approx(
+            tracer.flow_cost(trace["trace_id"])
+        )
+        assert len(trace["hops"]) == len(tracer.hops)
+        assert doc["summary"]["hops"] == len(tracer.hops)
+
+    def test_chrome_trace_events(self, env):
+        import json
+
+        net, rates, deployment = env
+        tracer = CausalTracer()
+        simulate_deployment(net, deployment, trace=tracer, rates=rates)
+        events = json.loads(chrome_trace_to_json(tracer))
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(meta) == 1  # one process per trace
+        assert meta[0]["args"]["name"] == tracer.trace_ids()[0]
+        assert len(spans) == len(tracer.hops)
+        for event in spans:
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["cat"] in ("causal", "flow")

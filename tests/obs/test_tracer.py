@@ -97,7 +97,86 @@ class TestSpanBasics:
         text = root.render()
         assert "optimize algorithm=bu" in text
         assert "\n  climb level=1 plans_examined=9" in text
+
+    def test_render_max_depth_marks_pruned_children(self):
+        tracer = Tracer()
+        with tracer.span("optimize") as root:
+            with tracer.span("task"):
+                with tracer.span("subtask"):
+                    pass
+            with tracer.span("task"):
+                pass
+        truncated = root.render(max_depth=0)
+        assert truncated.splitlines()[0].startswith("optimize")
+        assert "… (+3 pruned)" in truncated
+        assert "task" not in truncated
+        middle = root.render(max_depth=1)
+        assert "task" in middle
+        assert "subtask" not in middle
+        assert "… (+1 pruned)" in middle
+        # An unbounded render (or one deep enough) never shows a marker.
+        assert "pruned" not in root.render()
+        assert "pruned" not in root.render(max_depth=2)
+
+    def test_render_leaf_at_max_depth_has_no_marker(self):
+        tracer = Tracer()
+        with tracer.span("only") as root:
+            pass
         assert root.render(max_depth=0).count("\n") == 0
+
+
+class TestReentrancy:
+    def test_concurrent_threads_get_isolated_stacks(self):
+        import threading
+
+        tracer = Tracer()
+        barrier = threading.Barrier(4)
+        errors: list[Exception] = []
+
+        def work(i: int) -> None:
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    with tracer.span(f"outer{i}") as outer:
+                        with tracer.span(f"inner{i}") as inner:
+                            inner.incr("ops")
+                        assert tracer.current is outer
+                    assert tracer.current is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every outer span is a root (threads never parent under each
+        # other), and each parents exactly its own inner span.
+        assert len(tracer.roots) == 4 * 50
+        for root in tracer.roots:
+            assert root.name.startswith("outer")
+            suffix = root.name[len("outer"):]
+            assert [c.name for c in root.children] == [f"inner{suffix}"]
+
+    def test_copied_context_cannot_pop_foreign_span(self):
+        import contextvars
+
+        tracer = Tracer()
+        span = tracer.span("outer")
+        span.__enter__()
+
+        def nested() -> None:
+            # This context sees the open span as parent but exits only
+            # its own; the outer stack is untouched afterwards.
+            with tracer.span("child"):
+                assert tracer.current.name == "child"
+
+        contextvars.copy_context().run(nested)
+        assert tracer.current is span
+        span.__exit__(None, None, None)
+        assert tracer.current is None
+        assert [c.name for c in span.children] == ["child"]
 
 
 class TestNullTracer:

@@ -1,0 +1,88 @@
+"""PerfLab: case registry, determinism enforcement, trajectory I/O."""
+
+import json
+
+import pytest
+
+from repro.perf.lab import (
+    CASES,
+    QUICK_CASES,
+    PerfLab,
+    append_entry,
+    load_trajectory,
+)
+
+
+class TestConstruction:
+    def test_default_runs_the_quick_subset(self):
+        lab = PerfLab()
+        assert lab.cases == list(QUICK_CASES)
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(ValueError, match="unknown perf cases"):
+            PerfLab(cases=["nope"])
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            PerfLab(repeats=0)
+
+    def test_every_registered_case_is_callable(self):
+        for name, runner in CASES.items():
+            assert callable(runner), name
+
+
+class TestRunCase:
+    def test_entry_shape_and_determinism(self):
+        lab = PerfLab(cases=["plan_top_down"], repeats=2)
+        result = lab.run_case("plan_top_down")
+        assert result["ops"]["trees_enumerated"] > 0
+        assert result["ops"]["cost_evaluations"] > 0
+        wall = result["wall_seconds"]
+        assert len(wall["repeats"]) == 2
+        assert wall["min"] <= wall["median"] <= wall["max"]
+        # determinism enforcement: a second run produces the same ops
+        assert lab.run_case("plan_top_down")["ops"] == result["ops"]
+
+    def test_nondeterministic_case_raises(self, monkeypatch):
+        from repro.perf.profiler import OpProfiler
+
+        counter = iter([1, 2])
+
+        def flaky():
+            prof = OpProfiler()
+            prof.count("ops", next(counter))
+            return prof
+
+        monkeypatch.setitem(CASES, "flaky", flaky)
+        lab = PerfLab(cases=["flaky"], repeats=2)
+        with pytest.raises(RuntimeError, match="non-deterministic"):
+            lab.run_case("flaky")
+
+    def test_run_produces_a_trajectory_entry(self):
+        lab = PerfLab(cases=["plan_top_down"], repeats=1)
+        entry = lab.run(label="unit")
+        assert entry["label"] == "unit"
+        assert entry["repeats"] == 1
+        assert set(entry["cases"]) == {"plan_top_down"}
+
+
+class TestTrajectoryIO:
+    def test_load_initializes_missing_file(self, tmp_path):
+        doc = load_trajectory(tmp_path / "BENCH_trajectory.json")
+        assert doc == {
+            "kind": "repro.perf_trajectory", "version": 1, "entries": [],
+        }
+
+    def test_append_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        append_entry(path, {"label": "a", "cases": {}})
+        doc = append_entry(path, {"label": "b", "cases": {}})
+        assert [e["label"] for e in doc["entries"]] == ["a", "b"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something.else"}))
+        with pytest.raises(ValueError, match="not a perf trajectory"):
+            load_trajectory(path)

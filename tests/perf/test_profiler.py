@@ -1,0 +1,137 @@
+"""Op-count profiler: counting, sampling, nesting, hook sites."""
+
+import pytest
+
+from repro.perf import OpProfiler, profiled
+from repro.perf import profiler as perf_profiler
+
+
+class TestOpProfiler:
+    def test_counts_accumulate(self):
+        prof = OpProfiler()
+        prof.count("messages")
+        prof.count("messages", 4)
+        assert prof.ops == {"messages": 5}
+
+    def test_sample_and_snapshot(self):
+        ticks = iter([0.0, 1.0, 1.0, 3.0])
+        prof = OpProfiler(clock=lambda: next(ticks))
+        with prof.sample("plan"):
+            pass
+        with prof.sample("plan"):
+            pass
+        snap = prof.snapshot()
+        assert snap["wall_seconds"]["plan"] == {
+            "n": 2, "total": 3.0, "min": 1.0, "max": 2.0, "median": 1.5,
+        }
+
+    def test_add_time(self):
+        prof = OpProfiler()
+        prof.add_time("tick", 0.25)
+        assert prof.snapshot()["wall_seconds"]["tick"]["total"] == 0.25
+
+    def test_inactive_by_default(self):
+        assert perf_profiler.active() is None
+
+    def test_profiled_installs_and_uninstalls(self):
+        with profiled() as prof:
+            assert perf_profiler.active() is prof
+        assert perf_profiler.active() is None
+
+    def test_nesting_is_lifo(self):
+        with profiled() as outer:
+            with profiled() as inner:
+                assert perf_profiler.active() is inner
+            assert perf_profiler.active() is outer
+
+    def test_out_of_order_uninstall_raises(self):
+        a, b = OpProfiler(), OpProfiler()
+        a.install()
+        b.install()
+        with pytest.raises(RuntimeError, match="nest"):
+            a.uninstall()
+        b.uninstall()
+        a.uninstall()
+
+    def test_uninstall_survives_failed_block(self):
+        with pytest.raises(ValueError):
+            with profiled():
+                raise ValueError("boom")
+        assert perf_profiler.active() is None
+
+
+class TestHookSites:
+    """The instrumented call sites count into the active profiler."""
+
+    @pytest.fixture(scope="class")
+    def env(self):
+        from repro.hierarchy import build_hierarchy
+        from repro.network.topology import transit_stub_by_size
+        from repro.workload import WorkloadParams, generate_workload
+
+        net = transit_stub_by_size(24, seed=4)
+        workload = generate_workload(
+            net,
+            WorkloadParams(num_streams=6, num_queries=3, joins_per_query=(2, 3)),
+            seed=5,
+        )
+        hierarchy = build_hierarchy(net, max_cs=4, seed=0)
+        return net, workload, workload.rate_model(), hierarchy
+
+    def test_hierarchical_planning_counts(self, env):
+        from repro.core import TopDownOptimizer
+
+        net, workload, rates, hierarchy = env
+        with profiled() as prof:
+            TopDownOptimizer(hierarchy, rates).plan(workload.queries[0])
+        assert prof.ops["trees_enumerated"] > 0
+        assert prof.ops["placements"] > 0
+        assert prof.ops["cost_evaluations"] > 0
+
+    def test_optimal_planner_counts_dp_states(self, env):
+        from repro.core import make_optimizer
+
+        net, workload, rates, _ = env
+        with profiled() as prof:
+            make_optimizer("optimal", net, rates).plan(workload.queries[0])
+        assert prof.ops["dp_subsets"] > 0
+        assert prof.ops["cost_evaluations"] > 0
+
+    def test_protocol_counts_messages(self, env):
+        from repro.core import TopDownOptimizer
+        from repro.runtime import simulate_deployment
+
+        net, workload, rates, hierarchy = env
+        deployment = TopDownOptimizer(hierarchy, rates).plan(workload.queries[0])
+        with profiled() as prof:
+            timeline = simulate_deployment(net, deployment)
+        assert prof.ops["messages"] >= timeline.messages - timeline.tasks
+
+    def test_service_counts_ticks_and_cache_probes(self, env):
+        from repro.core import TopDownOptimizer
+        from repro.service import StreamQueryService
+
+        net, workload, rates, hierarchy = env
+        service = StreamQueryService(
+            TopDownOptimizer(hierarchy, rates), net, rates, hierarchy=hierarchy
+        )
+        with profiled() as prof:
+            for query in workload:
+                service.submit(query, lifetime=5.0)
+            for _ in range(3):
+                service.tick()
+        assert prof.ops["service_ticks"] == 3
+        assert prof.ops["cache_probes"] == len(workload.queries)
+        assert prof.snapshot()["wall_seconds"]["service_tick"]["n"] == 3
+
+    def test_counts_are_deterministic(self, env):
+        from repro.core import TopDownOptimizer
+
+        net, workload, rates, hierarchy = env
+
+        def run():
+            with profiled() as prof:
+                TopDownOptimizer(hierarchy, rates).plan(workload.queries[1])
+            return prof.ops
+
+        assert run() == run()

@@ -193,14 +193,14 @@ class TestMessageAction:
         inj = FaultInjector(
             FaultPlan([MessageStorm(time=0.0, duration=10.0, drop=1.0)])
         )
-        assert inj.message_action(0, 1, "m", 5.0) == ("drop",)
+        assert inj.message_action(0, 1, "m", 5.0) == ("drop", "storm")
         assert inj.messages_dropped == 1
 
     def test_partition_drops_cross_group_messages(self):
         inj = FaultInjector(
             FaultPlan([Partition(time=0.0, duration=10.0, groups=((0,), (1,)))])
         )
-        assert inj.message_action(0, 1, "m", 5.0) == ("drop",)
+        assert inj.message_action(0, 1, "m", 5.0) == ("drop", "partition")
         assert inj.message_action(0, 0, "m", 5.0) is None
 
     def test_quiet_times_deliver_normally(self):
@@ -218,7 +218,7 @@ class TestMessageAction:
         seq_one = [one.message_action(0, 1, "m", float(t)) for t in range(20)]
         seq_two = [two.message_action(0, 1, "m", float(t)) for t in range(20)]
         assert seq_one == seq_two
-        assert any(a == ("drop",) for a in seq_one)
+        assert any(a is not None and a[0] == "drop" for a in seq_one)
 
 
 class TestNullInjector:

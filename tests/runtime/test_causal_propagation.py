@@ -1,0 +1,251 @@
+"""Trace propagation under faults, and the byte-identical-off contract.
+
+Two acceptance properties from the causal-tracing design:
+
+* retried deliveries reuse the *original* trace id, are tagged
+  ``retransmit=True`` and never start fresh roots -- storms and
+  coordinator outages stay one causal tree per query;
+* with tracing disabled (and the profiler uninstalled) the optimizer
+  output and the simulator's message sequences are byte-identical to a
+  build that never heard of either.
+"""
+
+import pytest
+
+from repro.adaptive.diff import diff_deployments
+from repro.adaptive.migrate import Migrator
+from repro.core import TopDownOptimizer
+from repro.core.cost import RateModel
+from repro.hierarchy import build_hierarchy
+from repro.network.topology import transit_stub_by_size
+from repro.obs import CausalTracer
+from repro.perf import profiled
+from repro.query.deployment import Deployment
+from repro.query.plan import Join, Leaf
+from repro.query.query import JoinPredicate, Query
+from repro.query.stream import StreamSpec
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.faults import CoordinatorOutage, MessageStorm
+from repro.runtime import simulate_deployment
+from repro.workload import WorkloadParams, generate_workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = transit_stub_by_size(32, seed=2)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=8, num_queries=6, joins_per_query=(2, 4)),
+        seed=3,
+    )
+    rates = workload.rate_model()
+    hierarchy = build_hierarchy(net, max_cs=4, seed=0)
+    deployment = TopDownOptimizer(hierarchy, rates).plan(workload.queries[0])
+    return net, rates, hierarchy, workload, deployment
+
+
+def storm_injector(drop=0.4, duplicate=0.2, seed=5):
+    return FaultInjector(
+        FaultPlan(
+            [MessageStorm(time=0.0, duration=10_000.0, drop=drop, duplicate=duplicate)],
+            seed=seed,
+        )
+    )
+
+
+class TestRetransmissionPropagation:
+    def test_storm_retries_reuse_the_original_trace(self, env):
+        net, rates, _, _, deployment = env
+        tracer = CausalTracer()
+        timeline = simulate_deployment(
+            net, deployment, faults=storm_injector(), trace=tracer, rates=rates
+        )
+        assert timeline.retransmissions > 0
+        # one query, one causal tree -- retries never fork fresh roots
+        (trace_id,) = tracer.trace_ids()
+        retransmits = [h for h in tracer.hops if h.retransmit]
+        # at least every reliable-delivery re-send is a retransmit hop
+        # (re-acks of duplicated commands add a few more re-sends the
+        # protocol's own counter doesn't track)
+        assert len(retransmits) >= timeline.retransmissions
+        for hop in retransmits:
+            assert hop.context.trace_id == trace_id
+            # parented under the original send of the same message
+            original = next(
+                h for h in tracer.hops
+                if h.context.span_id == hop.context.parent_id
+            )
+            assert not original.retransmit
+            assert original.kind == hop.kind
+            assert (original.src, original.dst) == (hop.src, hop.dst)
+            assert original.retransmit_count > 0
+        assert tracer.retransmissions(trace_id) == len(retransmits)
+
+    def test_storm_drops_and_duplicates_are_accounted(self, env):
+        net, rates, _, _, deployment = env
+        tracer = CausalTracer()
+        faults = storm_injector()
+        simulate_deployment(
+            net, deployment, faults=faults, trace=tracer, rates=rates
+        )
+        summary = tracer.summary()
+        assert summary["dropped"] == faults.messages_dropped
+        assert summary["duplicated_deliveries"] == faults.messages_duplicated
+        assert {h.drop_reason for h in tracer.hops if h.dropped} == {"storm"}
+
+    def test_traced_stormy_timeline_matches_untraced(self, env):
+        net, rates, _, _, deployment = env
+        untraced = simulate_deployment(
+            net, deployment, faults=storm_injector()
+        )
+        traced = simulate_deployment(
+            net, deployment, faults=storm_injector(),
+            trace=CausalTracer(), rates=rates,
+        )
+        assert traced == untraced
+
+
+def make_migration_world():
+    net = transit_stub_by_size(16, seed=1)
+    rates = RateModel(
+        {
+            "A": StreamSpec("A", 0, rate=100.0),
+            "B": StreamSpec("B", 1, rate=40.0),
+            "C": StreamSpec("C", 2, rate=10.0),
+        }
+    )
+    query = Query(
+        "q",
+        ["A", "B", "C"],
+        sink=3,
+        predicates=[JoinPredicate("A", "B", 0.01), JoinPredicate("B", "C", 0.05)],
+    )
+
+    def left_deep(nodes):
+        a, b, c = Leaf.of("A"), Leaf.of("B"), Leaf.of("C")
+        ab = Join(a, b)
+        abc = Join(ab, c)
+        return Deployment(
+            query=query, plan=abc,
+            placement={a: 0, b: 1, c: 2, ab: nodes[0], abc: nodes[1]},
+        )
+
+    diff = diff_deployments(left_deep((1, 2)), left_deep((0, 3)), rates)
+    return net, query, diff
+
+
+class TestMigrationPropagation:
+    def test_cutover_forms_one_migrate_tree(self):
+        net, query, diff = make_migration_world()
+        tracer = CausalTracer()
+        timeline = Migrator(net, trace=tracer).simulate_cutover(
+            diff, coordinator=query.sink
+        )
+        assert timeline.committed
+        (trace_id,) = tracer.trace_ids()
+        tree = tracer.span_tree(trace_id)
+        assert tree.name == "migrate:q"
+        assert tree.tags["operators"] == 2
+        kinds = {h.kind for h in tracer.hops_of(trace_id)}
+        assert {"PauseCommand", "StateChunk", "ResumeCommand"} <= kinds
+
+    def test_outage_retries_stay_in_tree_with_drop_reason(self):
+        net, query, diff = make_migration_world()
+        faults = FaultInjector(
+            FaultPlan([CoordinatorOutage(time=0.0, node=query.sink, duration=0.1)])
+        )
+        tracer = CausalTracer()
+        timeline = Migrator(net, faults=faults, trace=tracer).simulate_cutover(
+            diff, coordinator=query.sink
+        )
+        # the outage swallows early acks; retransmissions ride it out
+        assert timeline.committed
+        assert timeline.retransmissions > 0
+        (trace_id,) = tracer.trace_ids()
+        dropped = [h for h in tracer.hops if h.dropped]
+        assert dropped
+        assert {h.drop_reason for h in dropped} == {"outage"}
+        assert all(h.context.trace_id == trace_id for h in tracer.hops)
+        assert tracer.retransmissions(trace_id) >= timeline.retransmissions
+
+    def test_traced_cutover_timeline_matches_untraced(self):
+        net, query, diff = make_migration_world()
+        untraced = Migrator(net).simulate_cutover(diff, coordinator=query.sink)
+        traced = Migrator(net, trace=CausalTracer()).simulate_cutover(
+            diff, coordinator=query.sink
+        )
+        assert traced == untraced
+
+
+class TestByteIdenticalWhenDisabled:
+    """Tracing off + profiler off must change nothing observable."""
+
+    def capture_messages(self, net, deployment, trace=None):
+        """Protocol replay with a recording middleware; returns the
+        exact (src, dst, message) send sequence."""
+        from repro.resilience.faults import NULL_FAULTS  # noqa: F401
+        from repro.runtime.protocol import _Context, _ProtocolActor, QuerySubmit
+        from repro.runtime.simulator import Simulator
+
+        ctx = _Context(deployment, seconds_per_plan=2e-5)
+        sim = Simulator(net)
+        sent = []
+        sim.add_send_middleware(
+            lambda src, dst, message, now: sent.append((src, dst, message)) or None
+        )
+        for node in net.nodes():
+            sim.register(_ProtocolActor(node, ctx))
+        if trace is not None:
+            sim.attach_trace(trace)
+            trace.new_trace(f"deploy:{deployment.query.name}")
+        sink = deployment.query.sink
+        sim.schedule(
+            0.0,
+            lambda: sim.node(ctx.trace[0]["node"]).on_message(
+                sink, QuerySubmit(deployment.query.name, sink)
+            ),
+        )
+        sim.run()
+        return sent
+
+    def test_message_sequences_identical_with_and_without_tracer(self, env):
+        net, _, _, _, deployment = env
+        plain = self.capture_messages(net, deployment)
+        traced = self.capture_messages(net, deployment, trace=CausalTracer())
+        # trace stamps are excluded from message equality, so the traced
+        # run's send sequence compares equal element by element
+        assert traced == plain
+        # and the stamps really are there on the traced run
+        assert any(
+            getattr(m, "trace", None) is not None for _, _, m in traced
+        )
+
+    def test_timelines_identical_with_and_without_tracer(self, env):
+        net, rates, _, _, deployment = env
+        assert simulate_deployment(net, deployment) == simulate_deployment(
+            net, deployment, trace=CausalTracer(), rates=rates
+        )
+
+    def test_optimizer_output_identical_with_and_without_profiler(self, env):
+        net, rates, hierarchy, workload, _ = env
+        query = workload.queries[1]
+        plain = TopDownOptimizer(hierarchy, rates).plan(query)
+        with profiled() as prof:
+            profiled_run = TopDownOptimizer(hierarchy, rates).plan(query)
+        assert prof.ops  # the profiler really was counting
+        assert profiled_run.plan == plain.plan
+        assert profiled_run.placement == plain.placement
+        assert profiled_run.stats == plain.stats
+
+    def test_unstamped_messages_compare_equal_to_stamped(self):
+        from repro.runtime.messages import DeployCommand
+
+        ctx = CausalTracer()
+        root = ctx.new_trace("deploy:q")
+        plain = DeployCommand("q", "op1")
+        import dataclasses
+
+        stamped = dataclasses.replace(plain, trace=root)
+        assert stamped == plain
+        assert hash(stamped) == hash(plain) if plain.__hash__ else True
+        assert "trace" not in repr(stamped)

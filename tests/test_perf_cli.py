@@ -1,0 +1,122 @@
+"""Smoke tests for ``repro perf`` and the causal ``repro trace`` modes."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPerfCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["perf", "run"])
+        assert args.perf_command == "run"
+        assert args.repeats == 3
+        assert args.trajectory == "BENCH_trajectory.json"
+        assert args.func.__name__ == "_cmd_perf"
+
+    def test_run_then_compare_then_report(self, tmp_path, capsys):
+        trajectory = str(tmp_path / "BENCH_trajectory.json")
+        rc = main([
+            "perf", "run", "--cases", "plan_top_down", "--repeats", "1",
+            "--label", "smoke", "--trajectory", trajectory,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "perf lab: ran 1 case(s)" in out
+        assert "plan_top_down:" in out
+        doc = json.loads((tmp_path / "BENCH_trajectory.json").read_text())
+        assert doc["kind"] == "repro.perf_trajectory"
+        assert len(doc["entries"]) == 1
+        assert doc["entries"][0]["label"] == "smoke"
+        assert doc["entries"][0]["cases"]["plan_top_down"]["ops"]
+
+        rc = main(["perf", "compare", "--trajectory", trajectory])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+        rc = main(["perf", "report", "--trajectory", trajectory])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(1 entries)" in out
+        assert "label=smoke" in out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        trajectory = str(tmp_path / "BENCH_trajectory.json")
+        main([
+            "perf", "run", "--cases", "plan_top_down", "--repeats", "1",
+            "--trajectory", trajectory,
+        ])
+        capsys.readouterr()
+        rc = main(["perf", "compare", "--trajectory", trajectory, "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert doc["findings"]
+
+    def test_compare_fails_on_injected_regression(self, tmp_path, capsys):
+        trajectory = tmp_path / "BENCH_trajectory.json"
+        doc = {
+            "kind": "repro.perf_trajectory",
+            "version": 1,
+            "entries": [
+                {"label": "", "cases": {"plan": {"ops": {"messages": 100}}}},
+                {"label": "", "cases": {"plan": {"ops": {"messages": 200}}}},
+            ],
+        }
+        trajectory.write_text(json.dumps(doc))
+        rc = main(["perf", "compare", "--trajectory", str(trajectory)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_empty_trajectory_errors(self, tmp_path, capsys):
+        trajectory = str(tmp_path / "missing.json")
+        rc = main(["perf", "compare", "--trajectory", trajectory])
+        assert rc == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_run_unknown_case_errors(self, tmp_path, capsys):
+        rc = main([
+            "perf", "run", "--cases", "bogus",
+            "--trajectory", str(tmp_path / "t.json"),
+        ])
+        assert rc == 2
+        assert "unknown perf cases" in capsys.readouterr().err
+
+
+class TestTraceCausalCli:
+    ARGS = [
+        "trace", "--query", "0", "--nodes", "24", "--streams", "5",
+        "--queries", "4", "--max-cs", "4", "--seed", "9",
+    ]
+
+    def test_causal_summary_and_tree(self, capsys):
+        rc = main(self.ARGS + ["--causal"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "causal trace: top-down deploying" in out
+        assert "data-flow cost" in out
+        assert "deploy:" in out
+        assert "QuerySubmit" in out
+
+    def test_causal_json_envelope(self, capsys):
+        rc = main(self.ARGS + ["--causal", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "repro.causal_trace"
+        (trace,) = doc["traces"]
+        assert trace["hops"]
+        assert trace["flow_cost"] > 0
+
+    def test_chrome_export(self, capsys):
+        rc = main(self.ARGS + ["--chrome"])
+        assert rc == 0
+        events = json.loads(capsys.readouterr().out)
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_causal_rejects_flat_algorithms(self, capsys):
+        rc = main(self.ARGS + ["--causal", "--algorithm", "optimal"])
+        assert rc == 2
+        assert "hierarchical" in capsys.readouterr().err
