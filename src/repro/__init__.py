@@ -160,6 +160,18 @@ from repro.service import (
     churn_trace,
     query_fingerprint,
 )
+from repro.fleet import (
+    FleetController,
+    FleetDecision,
+    HashShardPolicy,
+    QueryRouter,
+    RebalanceReport,
+    ReuseFederation,
+    SubtreeLocalityPolicy,
+    Tenant,
+    TenantDirectory,
+    WeightedFairScheduler,
+)
 
 __version__ = "1.0.0"
 
@@ -237,6 +249,17 @@ __all__ = [
     "SubmitEvent",
     "churn_trace",
     "query_fingerprint",
+    # fleet control plane
+    "FleetController",
+    "FleetDecision",
+    "RebalanceReport",
+    "QueryRouter",
+    "HashShardPolicy",
+    "SubtreeLocalityPolicy",
+    "ReuseFederation",
+    "Tenant",
+    "TenantDirectory",
+    "WeightedFairScheduler",
     # observability
     "Span",
     "Tracer",

@@ -221,6 +221,109 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenants(specs):
+    """Parse ``name:weight[:quota]`` CLI tenant specs."""
+    from repro.fleet import Tenant
+
+    tenants = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if not parts[0]:
+            raise ValueError(f"tenant spec {spec!r} has no name")
+        weight = float(parts[1]) if len(parts) > 1 and parts[1] else 1.0
+        quota = int(parts[2]) if len(parts) > 2 and parts[2] else None
+        tenants.append(Tenant(parts[0], weight=weight, quota=quota))
+    return tenants
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+
+    import repro
+    from repro.fleet import FleetController
+    from repro.service import churn_trace
+
+    network, workload = _generated_workload(args)
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    try:
+        tenants = _parse_tenants(args.tenant)
+        fleet = FleetController(
+            args.shards,
+            network,
+            rates,
+            hierarchy,
+            algorithm=args.algorithm,
+            policy=args.policy,
+            budget=args.budget,
+            max_queue=args.max_queue,
+            max_per_tick=args.per_tick,
+            tenants=tenants,
+            federation=not args.no_federation,
+        )
+    except (ValueError, repro.ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = churn_trace(
+        workload,
+        lifetime=args.lifetime,
+        arrivals_per_tick=args.arrivals,
+        repeats=args.repeats,
+    )
+    tenant_for = None
+    if tenants:
+        cycle = itertools.cycle([t.name for t in tenants])
+        assigned = {event.query.name: next(cycle) for event in trace}
+        tenant_for = lambda event: assigned[event.query.name]  # noqa: E731
+    report = fleet.replay(trace, tenant_for=tenant_for)
+
+    violations = fleet.check_invariants()
+    s = report.summary
+    if args.json:
+        payload = {
+            "num_shards": fleet.num_shards,
+            "policy": fleet.router.policy.name,
+            "ticks": report.ticks,
+            "invariant_violations": violations,
+            **s,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0 if not violations else 1
+
+    print(f"fleet control plane: {fleet.num_shards} shards "
+          f"({fleet.router.policy.name} routing) on {len(network.nodes())} nodes")
+    print(f"  trace: {s['submitted']} submissions over {report.ticks} ticks "
+          f"({args.repeats}x {len(workload)} queries, lifetime {args.lifetime})")
+    print(f"  admitted {s['admitted']}  rejected {s['rejected']}  "
+          f"deployed {s['deployed_total']}  retired {s['retired_total']}")
+    print(f"  plan caches: {s['cache_hits']} hits / {s['cache_misses']} misses, "
+          f"{s['plans_computed']} plans computed")
+    print(f"  throughput: {s['queries_per_second']:,.0f} deployments/s wall-clock")
+    for shard in s["shards"]:
+        print(f"  shard {shard['shard']}: deployed {shard['deployed_total']}, "
+              f"cache {shard['cache_hits']}/{shard['cache_hits'] + shard['cache_misses']} hits, "
+              f"live {shard['live']}")
+    if "federation" in s:
+        fed = s["federation"]
+        print(f"  federation: {fed['imported_total']} imports, "
+              f"{fed['withdrawn_total']} withdrawals, "
+              f"{fed['promoted_total']} promotions, epoch {fed['epoch']}; "
+              f"{s['cross_shard_reuse']} cross-shard reuse hits")
+    for name, t in (s.get("tenants") or {}).items():
+        print(f"  tenant {name}: weight {t['weight']:g}, "
+              f"submitted {t.get('submitted', 0):.0f}, "
+              f"admitted {t.get('admitted', 0):.0f}, "
+              f"rejected {t.get('rejected', 0):.0f}")
+    if violations:
+        print("  INVARIANT VIOLATIONS:")
+        for violation in violations:
+            print(f"    {violation}")
+        return 1
+    print("  router invariants: ok")
+    return 0
+
+
 def _generated_workload(args):
     """Synthetic (network, workload) pair shared by trace/metrics."""
     import repro
@@ -757,6 +860,38 @@ def build_parser() -> argparse.ArgumentParser:
                                 "in-network", "plan-then-deploy"])
     serve.add_argument("--seed", type=int, default=None)
     serve.set_defaults(func=_cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the sharded multi-tenant fleet control plane over a churn trace",
+    )
+    fleet.add_argument("--shards", type=int, default=4)
+    fleet.add_argument("--policy", default="subtree", choices=["subtree", "hash"],
+                       help="shard-assignment policy")
+    fleet.add_argument("--nodes", type=int, default=32)
+    fleet.add_argument("--streams", type=int, default=8)
+    fleet.add_argument("--queries", type=int, default=20)
+    fleet.add_argument("--budget", type=int, default=8,
+                       help="per-shard concurrent-deployment budget")
+    fleet.add_argument("--max-queue", type=int, default=None,
+                       help="per-shard submission-queue bound")
+    fleet.add_argument("--per-tick", type=int, default=None,
+                       help="per-shard max queue admissions per tick")
+    fleet.add_argument("--tenant", action="append", metavar="NAME:WEIGHT[:QUOTA]",
+                       help="add a tenant (repeatable); submissions round-robin "
+                            "across tenants")
+    fleet.add_argument("--no-federation", action="store_true",
+                       help="disable cross-shard view reuse")
+    fleet.add_argument("--lifetime", type=float, default=5.0)
+    fleet.add_argument("--arrivals", type=int, default=2)
+    fleet.add_argument("--repeats", type=int, default=2)
+    fleet.add_argument("--max-cs", type=int, default=8)
+    fleet.add_argument("--algorithm", default="top-down",
+                       choices=["top-down", "bottom-up"])
+    fleet.add_argument("--seed", type=int, default=None)
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the full fleet summary as JSON")
+    fleet.set_defaults(func=_cmd_fleet)
 
     trace = sub.add_parser(
         "trace",

@@ -1,0 +1,48 @@
+"""Sharded, multi-tenant fleet control plane with federated reuse.
+
+Scales the single-process :class:`~repro.service.service.StreamQueryService`
+to N shards behind a :class:`~repro.fleet.routing.QueryRouter`, with
+cross-shard view reuse (:class:`~repro.fleet.federation.ReuseFederation`)
+and a tenant quota/weighted-fairness layer (:mod:`repro.fleet.tenancy`).
+"""
+
+from repro.fleet.controller import (
+    FleetController,
+    FleetDecision,
+    FleetReplayReport,
+    FleetTickReport,
+    RebalanceReport,
+)
+from repro.fleet.federation import FEDERATION_OWNER, ReuseFederation
+from repro.fleet.routing import (
+    HashShardPolicy,
+    QueryRouter,
+    ShardPolicy,
+    SubtreeLocalityPolicy,
+    make_policy,
+)
+from repro.fleet.tenancy import (
+    NULL_TENANT,
+    Tenant,
+    TenantDirectory,
+    WeightedFairScheduler,
+)
+
+__all__ = [
+    "FleetController",
+    "FleetDecision",
+    "FleetReplayReport",
+    "FleetTickReport",
+    "RebalanceReport",
+    "ReuseFederation",
+    "FEDERATION_OWNER",
+    "QueryRouter",
+    "ShardPolicy",
+    "HashShardPolicy",
+    "SubtreeLocalityPolicy",
+    "make_policy",
+    "Tenant",
+    "NULL_TENANT",
+    "TenantDirectory",
+    "WeightedFairScheduler",
+]

@@ -1,0 +1,869 @@
+"""The fleet controller: N service shards behind one front door.
+
+:class:`FleetController` scales the single-process
+:class:`~repro.service.service.StreamQueryService` out into a sharded
+control plane.  Each shard is a full service -- its own optimizer over
+its own advertisement index, plan cache, admission budget, resilience
+ladder and adaptivity loop -- planning against the *shared* physical
+network, rate model and hierarchy.  In front of them sit three thin
+layers:
+
+* a :class:`~repro.fleet.routing.QueryRouter` assigning every query to
+  exactly one shard (fingerprint hash or hierarchy-subtree locality);
+* a :class:`~repro.fleet.federation.ReuseFederation` republishing each
+  shard's derived-view advertisements fleet-wide, so the paper's
+  operator reuse keeps working across the shard boundary;
+* a tenant layer (:mod:`repro.fleet.tenancy`) with quotas and
+  weighted-fair admission under overload.
+
+A one-shard fleet with no tenants degenerates to the bare service --
+same decisions, same deployments, same costs -- which the parity
+regression test pins down.
+"""
+
+from __future__ import annotations
+
+import re
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.adaptive.diff import diff_deployments
+from repro.adaptive.migrate import Migrator
+from repro.core.cost import RateModel
+from repro.core.optimizer import Optimizer, make_optimizer
+from repro.errors import ReproError, UnknownQueryError
+from repro.fleet.federation import ReuseFederation
+from repro.fleet.routing import QueryRouter, ShardPolicy, make_policy
+from repro.fleet.tenancy import (
+    Tenant,
+    TenantDirectory,
+    WeightedFairScheduler,
+)
+from repro.hierarchy.advertisements import AdvertisementIndex
+from repro.hierarchy.hierarchy import Hierarchy
+from repro.network.graph import Network
+from repro.obs.metrics import MetricRegistry
+from repro.query.query import Query
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStatus,
+)
+from repro.service.cache import PlanCache
+from repro.service.service import (
+    StreamQueryService,
+    SubmitEvent,
+    TickReport,
+)
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """Outcome of one fleet submission.
+
+    Attributes:
+        decision: The underlying admission decision (fleet- or
+            shard-issued).
+        shard: Shard the query was routed to (``None`` when rejected
+            before routing, e.g. unknown tenant).
+        tenant: Tenant the submission was booked under (``""`` in
+            tenant-free fleets).
+    """
+
+    decision: AdmissionDecision
+    shard: int | None
+    tenant: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.decision.admitted
+
+    @property
+    def rejected(self) -> bool:
+        return self.decision.rejected
+
+    @property
+    def status(self) -> AdmissionStatus:
+        return self.decision.status
+
+
+@dataclass
+class FleetTickReport:
+    """What one fleet tick did, across every layer."""
+
+    time: float
+    shard_reports: list[TickReport]
+    deployed: list[tuple[str, int]] = field(default_factory=list)
+    retired: list[tuple[str, int]] = field(default_factory=list)
+    federation: dict = field(default_factory=dict)
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of moving one query between shards."""
+
+    query: str
+    source_shard: int
+    target_shard: int
+    moved: bool
+    reason: str = ""
+    operators_moved: int = 0
+    bytes_moved: float = 0.0
+    cutover_completed: float = 0.0
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+
+
+@dataclass
+class FleetReplayReport:
+    """Summary of replaying a trace through the fleet."""
+
+    decisions: list[FleetDecision]
+    ticks: int
+    wall_seconds: float
+    summary: dict = field(default_factory=dict)
+
+
+@dataclass
+class _PendingSubmit:
+    """One submission parked in the fleet's weighted-fair backlog."""
+
+    query: Query
+    lifetime: float | None
+    shard: int
+
+
+def _metric_suffix(name: str) -> str:
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+class FleetController:
+    """Sharded, multi-tenant control plane with federated reuse.
+
+    Args:
+        num_shards: Fleet width (>= 1).
+        network: Shared physical network.
+        rates: Shared rate model over the stream catalog.
+        hierarchy: Shared hierarchy (planning and the locality policy).
+        algorithm: Planner name per shard when ``optimizer_factory`` is
+            omitted (any :func:`~repro.core.optimizer.make_optimizer`
+            name; default the paper's Top-Down).
+        optimizer_factory: ``factory(ads) -> Optimizer`` building each
+            shard's planner over that shard's advertisement index.
+        policy: Shard-assignment policy: ``"subtree"`` (default),
+            ``"hash"``, or a :class:`~repro.fleet.routing.ShardPolicy`.
+        budget: Per-shard concurrent-deployment budget.
+        max_queue: Per-shard admission queue bound.
+        max_per_tick: Per-shard admission drain limit per tick.
+        cache_capacity: Per-shard plan-cache capacity.
+        tenants: Tenant records (or a prebuilt
+            :class:`TenantDirectory`).  Omitted/empty = tenant-free
+            mode: submissions pass straight to shard admission.
+        federation: Whether cross-shard view reuse is on.
+        service_kwargs: Extra keyword arguments forwarded to every
+            shard's :class:`StreamQueryService` (resilience, adaptivity,
+            tracer, ...).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        network: Network,
+        rates: RateModel,
+        hierarchy: Hierarchy,
+        algorithm: str = "top-down",
+        optimizer_factory: Callable[[AdvertisementIndex], Optimizer] | None = None,
+        policy: str | ShardPolicy = "subtree",
+        budget: int = 16,
+        max_queue: int | None = None,
+        max_per_tick: int | None = None,
+        cache_capacity: int | None = 256,
+        tenants: TenantDirectory | Iterable[Tenant] | None = None,
+        federation: bool = True,
+        service_kwargs: dict | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ReproError("a fleet needs at least one shard")
+        self.network = network
+        self.rates = rates
+        self.hierarchy = hierarchy
+        self.clock = 0.0
+
+        self.shards: list[StreamQueryService] = []
+        for _ in range(num_shards):
+            ads = AdvertisementIndex(hierarchy)
+            if optimizer_factory is not None:
+                optimizer = optimizer_factory(ads)
+            else:
+                optimizer = make_optimizer(
+                    algorithm, network, rates, hierarchy=hierarchy, ads=ads
+                )
+            self.shards.append(
+                StreamQueryService(
+                    optimizer,
+                    network,
+                    rates,
+                    hierarchy=hierarchy,
+                    ads=ads,
+                    admission=AdmissionController(
+                        budget=budget,
+                        max_queue=max_queue,
+                        max_per_tick=max_per_tick,
+                    ),
+                    cache=PlanCache(cache_capacity),
+                    **(service_kwargs or {}),
+                )
+            )
+
+        self.router = QueryRouter(
+            make_policy(policy, hierarchy=hierarchy, rates=rates), num_shards
+        )
+        self.federation: ReuseFederation | None = (
+            ReuseFederation(self.shards) if federation else None
+        )
+
+        if tenants is None:
+            directory = TenantDirectory()
+        elif isinstance(tenants, TenantDirectory):
+            directory = tenants
+        else:
+            directory = TenantDirectory(tenants)
+        self.tenants = directory
+        self.scheduler: WeightedFairScheduler | None = (
+            WeightedFairScheduler(directory) if len(directory) else None
+        )
+        self._tenant_of: dict[str, str] = {}
+        self._tenant_live: dict[str, int] = {t.name: 0 for t in directory}
+        self._tenant_charge: dict[str, int] = {t.name: 0 for t in directory}
+
+        self.submitted_total = 0
+        self.rebalances_total = 0
+        self.cross_shard_reuse_total = 0
+
+        # Fleet-level instruments live on their own registry; per-shard
+        # service_* metrics stay on each shard's registry.
+        self.registry = MetricRegistry()
+        reg = self.registry
+        self._live_gauge = reg.gauge(
+            "fleet_live_queries", "Queries deployed across every shard."
+        )
+        self._queue_gauge = reg.gauge(
+            "fleet_queue_depth",
+            "Submissions waiting fleet-wide (tenant backlog + shard queues).",
+        )
+        self._submitted_counter = reg.counter(
+            "fleet_submitted_total", "Submissions received by the fleet."
+        )
+        self._admitted_counter = reg.counter(
+            "fleet_admitted_total", "Submissions admitted (deployed or queued)."
+        )
+        self._rejected_counter = reg.counter(
+            "fleet_rejected_total", "Submissions rejected fleet- or shard-side."
+        )
+        self._rebalance_counter = reg.counter(
+            "fleet_rebalances_total", "Queries moved between shards."
+        )
+        self._reuse_counter = reg.counter(
+            "fleet_cross_shard_reuse_total",
+            "Deployed plans reusing a view federated from another shard.",
+        )
+        self._imports_gauge = reg.gauge(
+            "fleet_federation_imports", "Active cross-shard view imports."
+        )
+        self._tenant_instruments: dict[str, dict] = {}
+        for tenant in directory:
+            suffix = _metric_suffix(tenant.name)
+            self._tenant_instruments[tenant.name] = {
+                "submitted": reg.counter(
+                    f"tenant_submitted_total_{suffix}",
+                    f"Submissions by tenant {tenant.name}.",
+                ),
+                "admitted": reg.counter(
+                    f"tenant_admitted_total_{suffix}",
+                    f"Admissions for tenant {tenant.name}.",
+                ),
+                "rejected": reg.counter(
+                    f"tenant_rejected_total_{suffix}",
+                    f"Rejections for tenant {tenant.name}.",
+                ),
+                "live": reg.gauge(
+                    f"tenant_live_{suffix}",
+                    f"Live queries of tenant {tenant.name}.",
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Fleet width."""
+        return len(self.shards)
+
+    @property
+    def live_queries(self) -> list[str]:
+        """Names of deployed queries across every shard."""
+        out: list[str] = []
+        for shard in self.shards:
+            out.extend(shard.live_queries)
+        return out
+
+    def shard_of(self, name: str) -> int | None:
+        """Owning shard of a query (live or queued), or ``None``."""
+        return self.router.owner(name)
+
+    def is_live(self, name: str) -> bool:
+        """Whether a query is deployed on some shard."""
+        shard = self.router.owner(name)
+        return shard is not None and self.shards[shard].is_live(name)
+
+    def total_cost(self) -> float:
+        """Instantaneous communication cost across every shard."""
+        return sum(shard.total_cost() for shard in self.shards)
+
+    def tenant_of(self, name: str) -> str | None:
+        """Tenant a query was submitted under."""
+        return self._tenant_of.get(name)
+
+    def check_invariants(self) -> list[str]:
+        """Router/ownership violations (empty when healthy).
+
+        Checks the fleet's core invariant: every live or shard-queued
+        query is bound to exactly one shard, and that shard actually
+        holds it.
+        """
+        problems: list[str] = []
+        seen: dict[str, int] = {}
+        for sid, shard in enumerate(self.shards):
+            for name in shard.live_queries + shard.admission.queued_names():
+                if name in seen:
+                    problems.append(
+                        f"query {name!r} held by shards {seen[name]} and {sid}"
+                    )
+                seen[name] = sid
+                owner = self.router.owner(name)
+                if owner != sid:
+                    problems.append(
+                        f"query {name!r} held by shard {sid} but routed to {owner}"
+                    )
+        for name, owner in self.router.owners().items():
+            if name not in seen and not self._in_fleet_backlog(name):
+                problems.append(
+                    f"query {name!r} bound to shard {owner} but held nowhere"
+                )
+        return problems
+
+    def _in_fleet_backlog(self, name: str) -> bool:
+        if self.scheduler is None:
+            return False
+        tenant = self._tenant_of.get(name)
+        if tenant is None:
+            return False
+        return any(
+            item.query.name == name
+            for item in self.scheduler._queues.get(tenant, ())
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: Query,
+        lifetime: float | None = None,
+        time: float | None = None,
+        tenant: str | None = None,
+    ) -> FleetDecision:
+        """Submit a query to the fleet.
+
+        Tenant-free fleets route straight into the owning shard's
+        admission (identical semantics to the bare service).  With
+        tenants configured, fleet-level quota and backlog checks run
+        first; when the shards are over budget the submission parks in
+        the tenant's weighted-fair backlog instead of a shard queue.
+        """
+        if time is not None:
+            self.clock = time
+        self.submitted_total += 1
+        self._submitted_counter.inc(time=self.clock)
+
+        if self.scheduler is None:
+            shard = self.router.route(query)
+            decision = self.shards[shard].submit(query, lifetime=lifetime, time=time)
+            self._book_decision(decision, shard, "")
+            return FleetDecision(decision=decision, shard=shard)
+        return self._submit_tenant(query, lifetime, tenant)
+
+    def _submit_tenant(
+        self, query: Query, lifetime: float | None, tenant: str | None
+    ) -> FleetDecision:
+        record = self.tenants.get(tenant) if tenant is not None else None
+        if record is None and tenant is None and len(self.tenants) == 1:
+            record = next(iter(self.tenants))
+        if record is None:
+            decision = AdmissionDecision(
+                query=query.name,
+                status=AdmissionStatus.REJECTED,
+                reason=f"unknown tenant {tenant!r}",
+            )
+            self._rejected_counter.inc(time=self.clock)
+            return FleetDecision(decision=decision, shard=None, tenant=tenant or "")
+
+        instruments = self._tenant_instruments[record.name]
+        instruments["submitted"].inc(time=self.clock)
+
+        def rejected(reason: str) -> FleetDecision:
+            decision = AdmissionDecision(
+                query=query.name, status=AdmissionStatus.REJECTED, reason=reason
+            )
+            self._rejected_counter.inc(time=self.clock)
+            instruments["rejected"].inc(time=self.clock)
+            return FleetDecision(
+                decision=decision, shard=None, tenant=record.name
+            )
+
+        if (
+            record.quota is not None
+            and self._tenant_charge[record.name] >= record.quota
+        ):
+            return rejected(
+                f"tenant {record.name!r} quota {record.quota} exhausted"
+            )
+        if lifetime is not None and lifetime <= 0:
+            return rejected(f"non-positive lifetime {lifetime}")
+        if self.router.owner(query.name) is not None:
+            return rejected(f"query {query.name!r} is already in the fleet")
+        unknown = [s for s in query.sources if s not in self.rates.streams]
+        if unknown:
+            return rejected(f"unknown streams: {unknown}")
+        if query.sink not in self.network.nodes():
+            return rejected(f"sink {query.sink} is not a network node")
+
+        shard = self.router.route(query)
+        service = self.shards[shard]
+        has_capacity = (
+            len(service.live_queries) < service.admission.budget
+            and service.admission.queue_depth == 0
+        )
+        if has_capacity and self.scheduler.total_backlog == 0:
+            decision = service.submit(query, lifetime=lifetime)
+            self._book_decision(decision, shard, record.name)
+            if not decision.rejected:
+                self._charge(record.name, query.name)
+                if decision.admitted:
+                    self._mark_live(record.name)
+            return FleetDecision(
+                decision=decision, shard=shard, tenant=record.name
+            )
+
+        if (
+            record.max_queue is not None
+            and self.scheduler.backlog(record.name) >= record.max_queue
+        ):
+            return rejected(
+                f"tenant {record.name!r} backlog full "
+                f"({self.scheduler.backlog(record.name)}/{record.max_queue})"
+            )
+        position = self.scheduler.enqueue(
+            record.name, _PendingSubmit(query=query, lifetime=lifetime, shard=shard)
+        )
+        self.router.bind(query.name, shard)
+        self._charge(record.name, query.name)
+        decision = AdmissionDecision(
+            query=query.name,
+            status=AdmissionStatus.QUEUED,
+            reason=f"fleet backlog (tenant {record.name!r})",
+            queue_position=position,
+        )
+        self._admitted_like(decision)
+        return FleetDecision(decision=decision, shard=shard, tenant=record.name)
+
+    def _book_decision(
+        self, decision: AdmissionDecision, shard: int, tenant: str
+    ) -> None:
+        if decision.rejected:
+            self._rejected_counter.inc(time=self.clock)
+            if tenant:
+                self._tenant_instruments[tenant]["rejected"].inc(time=self.clock)
+            return
+        self.router.bind(decision.query, shard)
+        self._admitted_like(decision)
+        if tenant:
+            self._tenant_instruments[tenant]["admitted"].inc(time=self.clock)
+        if decision.admitted:
+            self._after_deploy(shard, decision.query)
+
+    def _admitted_like(self, decision: AdmissionDecision) -> None:
+        self._admitted_counter.inc(time=self.clock)
+
+    def _charge(self, tenant: str, name: str) -> None:
+        self._tenant_of[name] = tenant
+        self._tenant_charge[tenant] += 1
+
+    def _mark_live(self, tenant: str) -> None:
+        self._tenant_live[tenant] += 1
+        self._tenant_instruments[tenant]["live"].set(
+            float(self._tenant_live[tenant]), time=self.clock
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def tick(self, time: float | None = None) -> FleetTickReport:
+        """Advance the whole fleet one step.
+
+        Ticks every shard (expiries retire, shard queues drain), updates
+        ownership and tenant accounting, runs one federation sync so
+        newly created views become fleet-visible (and dead ones are
+        invalidated), then drains the tenant backlog into freed shard
+        capacity under weighted fairness.
+        """
+        now = float(time) if time is not None else self.clock + 1.0
+        self.clock = now
+        reports = [shard.tick(now) for shard in self.shards]
+        report = FleetTickReport(time=now, shard_reports=reports)
+        for sid, shard_report in enumerate(reports):
+            for name in shard_report.retired:
+                self._forget(name)
+                report.retired.append((name, sid))
+            for name in shard_report.deployed:
+                self._after_deploy(sid, name)
+                if self.scheduler is not None:
+                    tenant = self._tenant_of.get(name)
+                    if tenant is not None:
+                        self._mark_live(tenant)
+                report.deployed.append((name, sid))
+        if self.federation is not None:
+            report.federation = self.federation.sync()
+        if self.scheduler is not None:
+            report.deployed.extend(self._drain_backlog())
+        self._record_gauges()
+        return report
+
+    def _drain_backlog(self) -> list[tuple[str, int]]:
+        deployed: list[tuple[str, int]] = []
+
+        def eligible(_tenant: str, item: _PendingSubmit) -> bool:
+            service = self.shards[item.shard]
+            return (
+                len(service.live_queries) < service.admission.budget
+                and service.admission.queue_depth == 0
+            )
+
+        while True:
+            picked = self.scheduler.pick(eligible)
+            if picked is None:
+                break
+            tenant, item = picked
+            decision = self.shards[item.shard].submit(
+                item.query, lifetime=item.lifetime
+            )
+            if decision.admitted:
+                self._mark_live(tenant)
+                self._tenant_instruments[tenant]["admitted"].inc(time=self.clock)
+                self._after_deploy(item.shard, item.query.name)
+                deployed.append((item.query.name, item.shard))
+            elif decision.rejected:  # pragma: no cover - defensive
+                self.router.release(item.query.name)
+                self._tenant_of.pop(item.query.name, None)
+                self._tenant_charge[tenant] -= 1
+                self._tenant_instruments[tenant]["rejected"].inc(time=self.clock)
+                self._rejected_counter.inc(time=self.clock)
+        return deployed
+
+    def retire(self, name: str) -> bool:
+        """Retire a query wherever it is (deployed, shard- or
+        fleet-queued).
+
+        Returns ``True`` if it was deployed, ``False`` if only queued.
+
+        Raises:
+            UnknownQueryError: Nothing in the fleet has that name.
+        """
+        tenant = self._tenant_of.get(name)
+        if self.scheduler is not None and tenant is not None:
+            item = self.scheduler.withdraw(
+                tenant, lambda it: it.query.name == name
+            )
+            if item is not None:
+                self.router.release(name)
+                self._tenant_of.pop(name, None)
+                self._tenant_charge[tenant] -= 1
+                self._record_gauges()
+                return False
+        shard = self.router.owner(name)
+        if shard is None:
+            raise UnknownQueryError(f"query {name!r} is not in the fleet")
+        was_live = self.shards[shard].retire(name)
+        self._forget(name, live=was_live)
+        if self.federation is not None:
+            self.federation.sync()
+        self._record_gauges()
+        return was_live
+
+    def _forget(self, name: str, live: bool = True) -> None:
+        self.router.release(name)
+        tenant = self._tenant_of.pop(name, None)
+        if tenant is not None:
+            self._tenant_charge[tenant] -= 1
+            if live:
+                self._tenant_live[tenant] -= 1
+                self._tenant_instruments[tenant]["live"].set(
+                    float(self._tenant_live[tenant]), time=self.clock
+                )
+
+    # ------------------------------------------------------------------
+    # Rebalancing
+    # ------------------------------------------------------------------
+    def rebalance(self, name: str, target_shard: int) -> RebalanceReport:
+        """Move one live query to another shard.
+
+        Retires it from its owner, re-syncs the federation (so the
+        target shard plans against the post-retirement view population),
+        replans and deploys on the target, and prices the cutover with
+        the adaptive layer's migration machinery
+        (:func:`diff_deployments` + :meth:`Migrator.simulate_cutover`).
+        A move that cannot be admitted rolls back onto the source shard.
+        """
+        if not 0 <= target_shard < self.num_shards:
+            raise ReproError(f"no shard {target_shard} in a {self.num_shards}-shard fleet")
+        source_shard = self.router.owner(name)
+        if source_shard is None or not self.shards[source_shard].is_live(name):
+            raise UnknownQueryError(f"query {name!r} is not deployed in the fleet")
+        if target_shard == source_shard:
+            return RebalanceReport(
+                query=name,
+                source_shard=source_shard,
+                target_shard=target_shard,
+                moved=False,
+                reason="already on the target shard",
+            )
+        source = self.shards[source_shard]
+        target = self.shards[target_shard]
+        if (
+            len(target.live_queries) >= target.admission.budget
+            or target.admission.queue_depth > 0
+        ):
+            return RebalanceReport(
+                query=name,
+                source_shard=source_shard,
+                target_shard=target_shard,
+                moved=False,
+                reason="target shard has no free admission budget",
+            )
+
+        old = next(
+            d for d in source.engine.state.deployments if d.query.name == name
+        )
+        expiry = source._expiry.get(name)
+        remaining = None if expiry is None else max(1.0, expiry - self.clock)
+        cost_before = self.total_cost()
+
+        source.retire(name)
+        if self.federation is not None:
+            self.federation.sync()
+        decision = target.submit(old.query, lifetime=remaining)
+        if not decision.admitted:
+            source.submit(old.query, lifetime=remaining)
+            if self.federation is not None:
+                self.federation.sync()
+            return RebalanceReport(
+                query=name,
+                source_shard=source_shard,
+                target_shard=target_shard,
+                moved=False,
+                reason=f"target admission refused: {decision.reason}",
+                cost_before=cost_before,
+                cost_after=self.total_cost(),
+            )
+
+        self.router.rebind(name, target_shard)
+        self._after_deploy(target_shard, name)
+        new = next(
+            d for d in target.engine.state.deployments if d.query.name == name
+        )
+        diff = diff_deployments(old, new, self.rates)
+        timeline = Migrator(self.network).simulate_cutover(
+            diff, coordinator=self.hierarchy.root.coordinator, start_time=self.clock
+        )
+        if self.federation is not None:
+            self.federation.sync()
+        self.rebalances_total += 1
+        self._rebalance_counter.inc(time=self.clock)
+        self._record_gauges()
+        return RebalanceReport(
+            query=name,
+            source_shard=source_shard,
+            target_shard=target_shard,
+            moved=True,
+            operators_moved=len(diff.moved),
+            bytes_moved=diff.total_state_bytes,
+            cutover_completed=timeline.completed,
+            cost_before=cost_before,
+            cost_after=self.total_cost(),
+        )
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        events: Iterable[SubmitEvent],
+        drain: bool = True,
+        max_ticks: int = 100_000,
+        tenant_for: Callable[[SubmitEvent], str | None] | None = None,
+    ) -> FleetReplayReport:
+        """Replay a workload trace through the fleet.
+
+        Same driver contract as the single service's ``replay``:
+        submissions land at their tick, the fleet ticks through gaps
+        and, with ``drain``, keeps ticking until every backlog is empty
+        and every finite-lifetime query retired.  ``tenant_for`` maps an
+        event to a tenant name (``None`` = untenanted submission).
+        """
+        ordered = sorted(events, key=lambda e: e.time)
+        decisions: list[FleetDecision] = []
+        wall_start = _time.perf_counter()
+        ticks = 0
+        clock = self.clock
+        i = 0
+        while i < len(ordered):
+            clock += 1.0
+            self.tick(clock)
+            ticks += 1
+            while i < len(ordered) and ordered[i].time <= clock:
+                event = ordered[i]
+                decisions.append(
+                    self.submit(
+                        event.query,
+                        lifetime=event.lifetime,
+                        tenant=tenant_for(event) if tenant_for else None,
+                    )
+                )
+                i += 1
+            if ticks >= max_ticks:  # pragma: no cover - defensive
+                break
+        while drain and ticks < max_ticks and self._has_pending_work():
+            clock += 1.0
+            self.tick(clock)
+            ticks += 1
+        wall = _time.perf_counter() - wall_start
+        deployed_total = sum(s.deployed_total for s in self.shards)
+        summary = {
+            "submitted": len(decisions),
+            "admitted": sum(1 for d in decisions if not d.rejected),
+            "rejected": sum(1 for d in decisions if d.rejected),
+            "deployed_total": deployed_total,
+            "retired_total": sum(s.retired_total for s in self.shards),
+            "cache_hits": sum(s.cache.hits for s in self.shards),
+            "cache_misses": sum(s.cache.misses for s in self.shards),
+            "plans_computed": sum(s.plans_computed for s in self.shards),
+            "cross_shard_reuse": self.cross_shard_reuse_total,
+            "queries_per_second": (
+                deployed_total / wall if wall > 0 else float("inf")
+            ),
+            "final_cost": self.total_cost(),
+            "final_live": len(self.live_queries),
+            "shards": [self._shard_summary(sid) for sid in range(self.num_shards)],
+        }
+        if self.federation is not None:
+            summary["federation"] = self.federation.summary()
+        if self.scheduler is not None:
+            summary["tenants"] = self.tenant_summary()
+        return FleetReplayReport(
+            decisions=decisions, ticks=ticks, wall_seconds=wall, summary=summary
+        )
+
+    def _has_pending_work(self) -> bool:
+        if any(s.admission.queue_depth > 0 or s._expiry for s in self.shards):
+            return True
+        return self.scheduler is not None and self.scheduler.total_backlog > 0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _shard_summary(self, sid: int) -> dict:
+        shard = self.shards[sid]
+        return {
+            "shard": sid,
+            "live": len(shard.live_queries),
+            "queued": shard.admission.queue_depth,
+            "deployed_total": shard.deployed_total,
+            "retired_total": shard.retired_total,
+            "cache_hits": shard.cache.hits,
+            "cache_misses": shard.cache.misses,
+            "plans_computed": shard.plans_computed,
+            "cost": shard.total_cost(),
+        }
+
+    def tenant_summary(self) -> dict[str, dict]:
+        """Per-tenant accounting snapshot."""
+        out: dict[str, dict] = {}
+        for tenant in self.tenants:
+            snapshot = {
+                "weight": tenant.weight,
+                "quota": tenant.quota,
+                "live": self._tenant_live[tenant.name],
+                "in_flight": self._tenant_charge[tenant.name],
+                "backlog": (
+                    self.scheduler.backlog(tenant.name) if self.scheduler else 0
+                ),
+            }
+            instruments = self._tenant_instruments.get(tenant.name)
+            if instruments:
+                snapshot["submitted"] = instruments["submitted"].total
+                snapshot["admitted"] = instruments["admitted"].total
+                snapshot["rejected"] = instruments["rejected"].total
+            out[tenant.name] = snapshot
+        return out
+
+    def summary(self) -> dict:
+        """Fleet-wide snapshot for the CLI and reports."""
+        out = {
+            "shards": self.num_shards,
+            "policy": self.router.policy.name,
+            "live": len(self.live_queries),
+            "submitted_total": self.submitted_total,
+            "rebalances_total": self.rebalances_total,
+            "cross_shard_reuse_total": self.cross_shard_reuse_total,
+            "total_cost": self.total_cost(),
+            "per_shard": [self._shard_summary(sid) for sid in range(self.num_shards)],
+        }
+        if self.federation is not None:
+            out["federation"] = self.federation.summary()
+        if len(self.tenants):
+            out["tenants"] = self.tenant_summary()
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _after_deploy(self, shard: int, name: str) -> None:
+        if self.federation is None:
+            return
+        deployment = next(
+            (
+                d
+                for d in self.shards[shard].engine.state.deployments
+                if d.query.name == name
+            ),
+            None,
+        )
+        if deployment is None:  # pragma: no cover - defensive
+            return
+        for leaf in deployment.reused_leaves():
+            node = deployment.placement[leaf]
+            if self.federation.import_for(shard, leaf.view, node) is not None:
+                self.cross_shard_reuse_total += 1
+                self._reuse_counter.inc(time=self.clock)
+
+    def _record_gauges(self) -> None:
+        now = self.clock
+        self._live_gauge.set(float(len(self.live_queries)), time=now)
+        backlog = sum(s.admission.queue_depth for s in self.shards)
+        if self.scheduler is not None:
+            backlog += self.scheduler.total_backlog
+        self._queue_gauge.set(float(backlog), time=now)
+        if self.federation is not None:
+            self._imports_gauge.set(float(self.federation.active_imports), time=now)

@@ -1,0 +1,185 @@
+"""Cross-shard reuse: federating derived-view advertisements.
+
+Each shard plans against its own :class:`AdvertisementIndex`, so out of
+the box a view deployed by shard A is invisible to shard B and the
+paper's operator reuse stops at the shard boundary.  The federation
+closes that gap: after every fleet tick it republishes each shard's
+*locally owned* view advertisements into every other shard's index and
+registers a matching external operator record in that shard's
+deployment state, so the hierarchical planners fold the remote view into
+their plans and :meth:`DeploymentState.apply` accepts the resulting
+reused leaf.
+
+Invalidation is epoch-consistent: when the owning shard retires a view,
+the next sync withdraws the import everywhere -- withdrawing the
+advertisement, dropping the external record, and surgically evicting
+exactly the cached plans that referenced it
+(:meth:`PlanCache.evict_referencing`).  If the *importing* shard has
+live queries consuming the view, the record is instead *promoted*: the
+federation's claim is dropped but the record stays (the single-service
+"alive through reuse" semantics), and the promoting shard becomes the
+view's exporter from then on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.query.query import ViewSignature
+
+if TYPE_CHECKING:
+    from repro.service.service import StreamQueryService
+
+#: Sentinel consumer name keeping imported operator records alive in the
+#: importing shard's state.  Never collides with a query: service-side
+#: validation has no path to a query of this name being deployed.
+FEDERATION_OWNER = "__fleet_federation__"
+
+ViewKey = tuple  # (ViewSignature, node)
+
+
+class ReuseFederation:
+    """Fleet-wide derived-view index synchronized into every shard.
+
+    Args:
+        shards: The fleet's services, indexed by shard id.
+    """
+
+    def __init__(self, shards: Sequence["StreamQueryService"]) -> None:
+        self.shards = list(shards)
+        self._imports: list[set[ViewKey]] = [set() for _ in self.shards]
+        self.epoch = 0
+        self.syncs = 0
+        self.imported_total = 0
+        self.withdrawn_total = 0
+        self.promoted_total = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_import(self, shard: int, signature: ViewSignature, node: int) -> bool:
+        """Whether ``(signature, node)`` is an import on ``shard``."""
+        return (signature, node) in self._imports[shard]
+
+    def import_for(
+        self, shard: int, sources: frozenset[str], node: int
+    ) -> ViewKey | None:
+        """The import on ``shard`` covering ``sources`` at ``node``.
+
+        Matched by source set (not full signature): a reused leaf's view
+        is a source set, and containment reuse may bind it to an import
+        whose signature carries fewer filters.
+        """
+        for key in self._imports[shard]:
+            sig, at = key
+            if at == node and sig.sources == sources:
+                return key
+        return None
+
+    def imports(self, shard: int) -> set[ViewKey]:
+        """The (signature, node) keys currently imported by a shard."""
+        return set(self._imports[shard])
+
+    @property
+    def active_imports(self) -> int:
+        """Imports currently live across the fleet."""
+        return sum(len(s) for s in self._imports)
+
+    def exports(self, shard: int) -> dict[ViewKey, float]:
+        """Locally owned views a shard offers the fleet, with rates.
+
+        Everything the shard's deployment state advertises *minus* what
+        the federation itself planted there -- re-exporting an import
+        would let a view outlive its owner through a cycle of shards.
+        """
+        service = self.shards[shard]
+        state = service.engine.state
+        out: dict[ViewKey, float] = {}
+        for sig, nodes in state.advertised_views().items():
+            for node in nodes:
+                key = (sig, node)
+                if key in self._imports[shard]:
+                    continue
+                rate = state.view_rate(sig, node)
+                if rate is not None:
+                    out[key] = rate
+        return out
+
+    # ------------------------------------------------------------------
+    # Synchronization
+    # ------------------------------------------------------------------
+    def sync(self) -> dict[str, int]:
+        """One reconciliation round; returns what changed.
+
+        Three phases: snapshot every shard's exports into the fleet
+        index, then per shard compute the desired import set (everything
+        some *other* shard exports that this shard does not already own
+        locally) and apply additions and removals.  Removals either
+        withdraw (no local consumers) or promote (local queries still
+        reuse the view).  The federation epoch advances whenever a
+        withdrawal invalidated state, mirroring the service's epoch
+        discipline.
+        """
+        fleet: dict[ViewKey, tuple[int, float]] = {}
+        for sid in range(len(self.shards)):
+            for key, rate in self.exports(sid).items():
+                fleet.setdefault(key, (sid, rate))
+
+        imported = withdrawn = promoted = 0
+        for sid, service in enumerate(self.shards):
+            state = service.engine.state
+            current = self._imports[sid]
+            desired: dict[ViewKey, float] = {
+                key: rate
+                for key, (owner, rate) in fleet.items()
+                # skip views this shard owns locally (its own operators);
+                # existing imports are desired as long as an owner remains
+                if owner != sid and (key in current or not state.has_view(*key))
+            }
+            for key in sorted(
+                current - set(desired), key=lambda k: (k[0].label(), k[1])
+            ):
+                sig, node = key
+                removed = state.unregister_external_view(sig, node, FEDERATION_OWNER)
+                current.discard(key)
+                if removed:
+                    ads = service.ads
+                    if ads is not None and node in ads.view_nodes(sig):
+                        ads.withdraw_view(sig, node)
+                    service.cache.evict_referencing(sig.sources, node)
+                    withdrawn += 1
+                else:
+                    # Local queries still consume the view: the record is
+                    # promoted to local ownership and exported next sync.
+                    promoted += 1
+            for key, rate in sorted(
+                desired.items(), key=lambda kv: (kv[0][0].label(), kv[0][1])
+            ):
+                if key in current:
+                    continue
+                sig, node = key
+                state.register_external_view(sig, node, rate, FEDERATION_OWNER)
+                if service.ads is not None:
+                    service.ads.advertise_view(sig, node)
+                current.add(key)
+                imported += 1
+
+        self.syncs += 1
+        self.imported_total += imported
+        self.withdrawn_total += withdrawn
+        self.promoted_total += promoted
+        if withdrawn or promoted:
+            self.epoch += 1
+        return {"imported": imported, "withdrawn": withdrawn, "promoted": promoted}
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Counters for reports and the CLI."""
+        return {
+            "epoch": self.epoch,
+            "syncs": self.syncs,
+            "imported_total": self.imported_total,
+            "withdrawn_total": self.withdrawn_total,
+            "promoted_total": self.promoted_total,
+            "active_imports": self.active_imports,
+        }

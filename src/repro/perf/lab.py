@@ -21,6 +21,8 @@ Cases (the ``quick`` subset is what CI runs):
 * ``deploy_protocol`` -- deployment-protocol replay; counts messages.
 * ``service_churn`` -- lifecycle-service ticks under churn; counts
   cache probes and ticks, samples per-tick wall clock.
+* ``fleet_churn`` -- the sharded fleet control plane under the same
+  kind of churn across 3 shards with federation syncs on every tick.
 """
 
 from __future__ import annotations
@@ -146,12 +148,37 @@ def _case_service_churn() -> OpProfiler:
     return prof
 
 
+def _case_fleet_churn() -> OpProfiler:
+    from repro.fleet import FleetController
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    fleet = FleetController(
+        3,
+        net,
+        rates,
+        hierarchy,
+        policy="hash",
+        budget=4,
+        max_per_tick=2,
+    )
+    with profiled() as prof:
+        for i, query in enumerate(workload):
+            fleet.submit(query, lifetime=4.0 + (i % 3))
+        for _ in range(30):
+            with prof.sample("fleet_tick"):
+                fleet.tick()
+        prof.count("federation_syncs", fleet.federation.syncs)
+        prof.count("federation_imports", fleet.federation.imported_total)
+    return prof
+
+
 CASES: dict[str, Callable[[], OpProfiler]] = {
     "plan_top_down": _case_plan_hierarchical("top-down"),
     "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
     "plan_optimal": _case_plan_optimal,
     "deploy_protocol": _case_deploy_protocol,
     "service_churn": _case_service_churn,
+    "fleet_churn": _case_fleet_churn,
 }
 
 #: The subset CI runs on every push (all of them -- the suite is sized

@@ -379,6 +379,53 @@ class DeploymentState:
         return self.total_cost()
 
     # ------------------------------------------------------------------
+    # External views (cross-control-plane federation)
+    # ------------------------------------------------------------------
+    def register_external_view(
+        self, signature: ViewSignature, node: int, rate: float, owner: str
+    ) -> None:
+        """Make a view deployed by *another* control plane reusable here.
+
+        Installs (or refreshes) an operator record for ``(signature,
+        node)`` with ``owner`` as a consumer, so :meth:`find_reusable`
+        and :meth:`apply` treat the view exactly like a locally deployed
+        operator.  ``owner`` is a book-keeping sentinel (e.g. the
+        federation layer's reserved name), not a deployed query; it keeps
+        the record alive until :meth:`unregister_external_view`.
+        """
+        key = (signature, node)
+        rec = self._operators.get(key)
+        if rec is None:
+            rec = _OperatorRecord(signature, node, rate)
+            self._operators[key] = rec
+        rec.queries.add(owner)
+
+    def unregister_external_view(
+        self, signature: ViewSignature, node: int, owner: str
+    ) -> bool:
+        """Drop ``owner``'s claim on an externally registered view.
+
+        The record disappears when no consumers remain; it survives when
+        local queries still reuse it (same "alive through reuse"
+        semantics as :meth:`undeploy`).  Returns ``True`` if the record
+        was removed entirely.
+        """
+        key = (signature, node)
+        rec = self._operators.get(key)
+        if rec is None:
+            return False
+        rec.queries.discard(owner)
+        if not rec.queries:
+            del self._operators[key]
+            return True
+        return False
+
+    def view_rate(self, signature: ViewSignature, node: int) -> float | None:
+        """Recorded output rate of a deployed operator, if present."""
+        rec = self._operators.get((signature, node))
+        return rec.rate if rec is not None else None
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def find_reusable(self, query: Query, view: frozenset[str], node: int):

@@ -14,9 +14,19 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import AdmissionError
 from repro.query.query import Query
+
+if TYPE_CHECKING:  # import cycle: obs.metrics is registry-side plumbing
+    from repro.obs.metrics import MetricRegistry
+
+#: Queue-wait histogram buckets, in service ticks (not wall seconds --
+#: waits are virtual time between enqueue and drain).
+QUEUE_WAIT_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0, 89.0,
+)
 
 
 class AdmissionStatus(enum.Enum):
@@ -82,9 +92,44 @@ class AdmissionController:
         self.max_queue = max_queue
         self.max_per_tick = max_per_tick
         self._queue: deque[Query] = deque()
+        self._enqueued_at: dict[str, float] = {}
         self.admitted_total = 0
         self.queued_total = 0
         self.rejected_total = 0
+        self._depth_gauge = None
+        self._wait_hist = None
+
+    # ------------------------------------------------------------------
+    def bind_instruments(
+        self,
+        registry: "MetricRegistry",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        """Expose queue depth and queue-wait time as typed instruments.
+
+        Declares an ``admission_queue_depth`` gauge and an
+        ``admission_queue_wait_ticks`` histogram on ``registry`` and
+        keeps both current from inside the controller -- so per-shard
+        backpressure shows up in metric exports without callers polling
+        the :attr:`queue_depth` property.  Wait time is virtual: the
+        tick a query was enqueued (:meth:`request`'s ``time``) to the
+        tick it drained.  Idempotent; the lifecycle service calls this
+        with its registry at construction.
+        """
+        self._depth_gauge = registry.gauge(
+            "admission_queue_depth",
+            "Queries waiting in the admission controller's queue.",
+        )
+        self._wait_hist = registry.histogram(
+            "admission_queue_wait_ticks",
+            "Virtual ticks a query waited in the queue before admission.",
+            buckets=buckets if buckets is not None else QUEUE_WAIT_BUCKETS,
+        )
+        self._depth_gauge.set(float(len(self._queue)))
+
+    def _record_depth(self, time: float) -> None:
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(float(len(self._queue)), time=time)
 
     # ------------------------------------------------------------------
     @property
@@ -101,12 +146,16 @@ class AdmissionController:
         return any(q.name == name for q in self._queue)
 
     # ------------------------------------------------------------------
-    def request(self, query: Query, live_count: int) -> AdmissionDecision:
+    def request(
+        self, query: Query, live_count: int, time: float = 0.0
+    ) -> AdmissionDecision:
         """Decide one submission given the current live-deployment count.
 
         Admission requires both free budget *and* an empty queue (FIFO
         fairness: nobody overtakes queued queries).  Callers deploy the
-        query themselves when the decision is ADMITTED.
+        query themselves when the decision is ADMITTED.  ``time`` is the
+        service tick of the submission; queued queries remember it so
+        :meth:`drain` can observe their queue-wait duration.
         """
         if live_count < self.budget and not self._queue:
             self.admitted_total += 1
@@ -122,7 +171,9 @@ class AdmissionController:
                 ),
             )
         self._queue.append(query)
+        self._enqueued_at[query.name] = time
         self.queued_total += 1
+        self._record_depth(time)
         return AdmissionDecision(
             query=query.name,
             status=AdmissionStatus.QUEUED,
@@ -137,26 +188,36 @@ class AdmissionController:
             query=query.name, status=AdmissionStatus.REJECTED, reason=reason
         )
 
-    def drain(self, live_count: int) -> list[Query]:
+    def drain(self, live_count: int, time: float = 0.0) -> list[Query]:
         """Pop the queries that may deploy this tick, FIFO order.
 
         Bounded by free budget and ``max_per_tick``.  The controller
         counts them admitted; the caller performs the deployments.
+        ``time`` is the draining tick, used to observe queue-wait
+        durations when instruments are bound.
         """
         free = max(0, self.budget - live_count)
         if self.max_per_tick is not None:
             free = min(free, self.max_per_tick)
         admitted: list[Query] = []
         while free > 0 and self._queue:
-            admitted.append(self._queue.popleft())
+            query = self._queue.popleft()
+            enqueued = self._enqueued_at.pop(query.name, None)
+            if self._wait_hist is not None and enqueued is not None:
+                self._wait_hist.observe(max(0.0, time - enqueued), time=time)
+            admitted.append(query)
             self.admitted_total += 1
             free -= 1
+        if admitted:
+            self._record_depth(time)
         return admitted
 
-    def withdraw(self, name: str) -> bool:
+    def withdraw(self, name: str, time: float = 0.0) -> bool:
         """Remove a queued query by name (e.g. client cancellation)."""
         for i, query in enumerate(self._queue):
             if query.name == name:
                 del self._queue[i]
+                self._enqueued_at.pop(name, None)
+                self._record_depth(time)
                 return True
         return False

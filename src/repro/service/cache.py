@@ -109,6 +109,29 @@ class PlanCache:
         self.invalidations += len(stale)
         return len(stale)
 
+    def evict_referencing(self, view: frozenset[str], node: int) -> int:
+        """Remove entries whose plan reuses ``view`` at ``node``.
+
+        Targeted invalidation for federated reuse: when a remote view a
+        cached plan depends on is withdrawn, only the plans that actually
+        reference it die -- resubmissions of unrelated queries keep their
+        hits.  Returns the eviction count.
+        """
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if any(
+                not leaf.is_base_stream
+                and leaf.view == view
+                and entry.placement.get(leaf) == node
+                for leaf in entry.plan.leaves()
+            )
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.invalidations += len(stale)
+        return len(stale)
+
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self.invalidations += len(self._entries)

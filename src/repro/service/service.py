@@ -260,6 +260,7 @@ class StreamQueryService:
             "optimizer_plans_examined_total",
             "Nominal plan/placement combinations examined by the optimizer.",
         )
+        self.admission.bind_instruments(reg)
 
         # Resilience layer.  Instruments and hooks exist only when the
         # layer is on, so default-configured services stay byte-identical.
@@ -382,7 +383,9 @@ class StreamQueryService:
 
             decision = self._validate(query, lifetime)
             if decision is None:
-                decision = self.admission.request(query, len(self._live_names()))
+                decision = self.admission.request(
+                    query, len(self._live_names()), time=self.clock
+                )
                 if decision.status is AdmissionStatus.ADMITTED:
                     if self.resilience is not None:
                         try:
@@ -456,7 +459,7 @@ class StreamQueryService:
             self._retire_live(name)
             report.retired.append(name)
 
-        for query in self.admission.drain(len(self._live_names())):
+        for query in self.admission.drain(len(self._live_names()), time=now):
             lifetime = self._pending_lifetimes.pop(query.name, None)
             if self.resilience is not None:
                 try:
@@ -489,7 +492,7 @@ class StreamQueryService:
             UnknownQueryError: The name is neither deployed, queued nor
                 parked (also catchable as ``KeyError``).
         """
-        if self.admission.withdraw(name):
+        if self.admission.withdraw(name, time=self.clock):
             self._pending_lifetimes.pop(name, None)
             self._record_gauges()
             return False

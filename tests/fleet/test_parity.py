@@ -1,0 +1,126 @@
+"""Single-shard parity: a 1-shard, tenant-free fleet IS the bare service."""
+
+import pytest
+
+import repro
+from repro.service import churn_trace
+
+
+def build_single(env, budget):
+    net, hierarchy, workload, rates = env
+    ads = repro.AdvertisementIndex(hierarchy)
+    return repro.StreamQueryService(
+        repro.TopDownOptimizer(hierarchy, rates, ads=ads),
+        net,
+        rates,
+        hierarchy=hierarchy,
+        ads=ads,
+        admission=repro.AdmissionController(budget=budget),
+    )
+
+
+def build_one_shard_fleet(env, budget):
+    net, hierarchy, workload, rates = env
+    return repro.FleetController(
+        1, net, rates, hierarchy, algorithm="top-down", budget=budget
+    )
+
+
+class TestSingleShardParity:
+    @pytest.fixture(scope="class")
+    def replayed(self, fleet_env):
+        _, _, workload, _ = fleet_env
+        trace = churn_trace(workload, lifetime=3.0, arrivals_per_tick=2, repeats=2)
+        single = build_single(fleet_env, budget=4)
+        fleet = build_one_shard_fleet(fleet_env, budget=4)
+        single_report = single.replay(list(trace))
+        fleet_report = fleet.replay(list(trace))
+        return single, fleet, single_report, fleet_report
+
+    def test_identical_decision_sequence(self, replayed):
+        single, fleet, single_report, fleet_report = replayed
+        assert [
+            (d.query, d.status, d.reason, d.queue_position)
+            for d in single_report.decisions
+        ] == [
+            (
+                f.decision.query,
+                f.decision.status,
+                f.decision.reason,
+                f.decision.queue_position,
+            )
+            for f in fleet_report.decisions
+        ]
+
+    def test_identical_tick_count(self, replayed):
+        _, _, single_report, fleet_report = replayed
+        assert single_report.ticks == fleet_report.ticks
+
+    def test_identical_counters(self, replayed):
+        single, fleet, single_report, fleet_report = replayed
+        shard = fleet.shards[0]
+        assert shard.deployed_total == single.deployed_total
+        assert shard.retired_total == single.retired_total
+        assert shard.plans_computed == single.plans_computed
+        assert shard.statistics_epoch == single.statistics_epoch
+        assert shard.topology_epoch == single.topology_epoch
+
+    def test_identical_cache_behavior(self, replayed):
+        single, fleet, _, _ = replayed
+        shard = fleet.shards[0]
+        assert shard.cache.hits == single.cache.hits
+        assert shard.cache.misses == single.cache.misses
+        assert shard.cache.invalidations == single.cache.invalidations
+
+    def test_identical_final_state(self, replayed):
+        single, fleet, single_report, fleet_report = replayed
+        assert fleet_report.summary["final_live"] == single_report.summary["final_live"]
+        assert fleet.total_cost() == single.total_cost()
+        assert fleet_report.summary["final_cost"] == single_report.summary["final_cost"]
+
+    def test_no_federation_activity(self, replayed):
+        _, fleet, _, _ = replayed
+        # a 1-shard fleet has nobody to federate with
+        assert fleet.federation.imported_total == 0
+        assert fleet.federation.promoted_total == 0
+        assert fleet.cross_shard_reuse_total == 0
+
+
+class TestStepwiseParity:
+    def test_submit_tick_retire_trace(self, fleet_env):
+        """Drive both planes through an explicit mixed trace, comparing
+        decisions and costs at every step."""
+        _, _, workload, _ = fleet_env
+        single = build_single(fleet_env, budget=2)
+        fleet = build_one_shard_fleet(fleet_env, budget=2)
+
+        queries = workload.queries
+        script = [
+            ("submit", queries[0], 5.0),
+            ("submit", queries[1], None),
+            ("submit", queries[2], 4.0),  # queued: budget 2
+            ("tick", 1.0, None),
+            ("submit", queries[3], 2.0),
+            ("retire", queries[1].name, None),
+            ("tick", 2.0, None),
+            ("tick", 5.0, None),
+            ("tick", 6.0, None),
+        ]
+        for op, a, b in script:
+            if op == "submit":
+                ds = single.submit(a, lifetime=b)
+                df = fleet.submit(a, lifetime=b)
+                assert (ds.status, ds.reason) == (
+                    df.decision.status,
+                    df.decision.reason,
+                )
+            elif op == "tick":
+                rs = single.tick(a)
+                rf = fleet.tick(a)
+                assert rs.deployed == [n for n, _ in rf.deployed]
+                assert rs.retired == [n for n, _ in rf.retired]
+            elif op == "retire":
+                assert single.retire(a) == fleet.retire(a)
+            assert single.total_cost() == fleet.total_cost()
+            assert sorted(single.live_queries) == sorted(fleet.live_queries)
+        assert fleet.check_invariants() == []

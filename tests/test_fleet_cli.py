@@ -1,0 +1,70 @@
+"""End-to-end smoke tests for the ``fleet`` subcommand."""
+
+import json
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--nodes", "24", "--streams", "5", "--queries", "8",
+    "--budget", "4", "--repeats", "2", "--lifetime", "3",
+    "--max-cs", "4", "--seed", "9",
+]
+
+
+class TestFleetCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.shards == 4
+        assert args.policy == "subtree"
+        assert args.budget == 8
+        assert args.tenant is None
+        assert not args.no_federation
+        assert args.func.__name__ == "_cmd_fleet"
+
+    def test_fleet_generated_workload(self, capsys):
+        rc = main(["fleet", "--shards", "2", *SMALL])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet control plane: 2 shards (subtree routing)" in out
+        assert "shard 0:" in out and "shard 1:" in out
+        assert "federation:" in out
+        assert "deployments/s" in out
+        assert "router invariants: ok" in out
+
+    def test_hash_policy(self, capsys):
+        rc = main(["fleet", "--shards", "3", "--policy", "hash", *SMALL])
+        assert rc == 0
+        assert "(hash routing)" in capsys.readouterr().out
+
+    def test_no_federation_flag(self, capsys):
+        rc = main(["fleet", "--shards", "2", "--no-federation", *SMALL])
+        assert rc == 0
+        assert "federation:" not in capsys.readouterr().out
+
+    def test_tenants_mode(self, capsys):
+        rc = main([
+            "fleet", "--shards", "2",
+            "--tenant", "gold:3", "--tenant", "bronze:1:6",
+            *SMALL,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tenant gold: weight 3" in out
+        assert "tenant bronze: weight 1" in out
+
+    def test_json_summary(self, capsys):
+        rc = main(["fleet", "--shards", "2", "--json", *SMALL])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_shards"] == 2
+        assert payload["policy"] == "subtree"
+        assert payload["invariant_violations"] == []
+        assert payload["rejected"] == 0
+        assert payload["deployed_total"] == payload["retired_total"]
+        assert len(payload["shards"]) == 2  # per-shard breakdown
+        assert "federation" in payload
+
+    def test_bad_tenant_spec_exits_2(self, capsys):
+        rc = main(["fleet", "--tenant", ":3", *SMALL])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
