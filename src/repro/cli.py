@@ -11,6 +11,7 @@ Installed as the ``repro`` console script::
     repro trace --query 0 --algorithm top-down        # span tree + explanation
     repro metrics --format prom                       # typed metric exposition
     repro chaos --seed 7 --duration 50                # fault-injection drill
+    repro dash --once --json                          # telemetry control tower
 
 Everything the CLI does is also available as a library call; the CLI is
 a thin veneer for kicking the tires.
@@ -490,6 +491,53 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.dashboard import render_html, render_terminal
+    from repro.serialization import telemetry_from_json
+
+    if args.from_file:
+        try:
+            with open(args.from_file, "r", encoding="utf-8") as fh:
+                envelope = telemetry_from_json(fh.read())
+        except OSError as exc:
+            print(f"error: cannot read {args.from_file}: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(
+                f"error: {args.from_file} is not a telemetry envelope: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.fleet.scenario import chaos_telemetry_scenario
+
+        result = chaos_telemetry_scenario(
+            seed=args.seed,
+            num_shards=args.shards,
+            nodes=args.nodes,
+            num_queries=args.queries,
+            ticks=args.ticks,
+        )
+        envelope = result.telemetry.envelope()
+
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html(envelope))
+        print(f"wrote {args.html}")
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+    elif not args.html:
+        print(render_terminal(envelope), end="")
+    firing = [
+        a for a in envelope.get("alerts", []) if a.get("state") == "firing"
+    ]
+    if args.once:
+        return 0
+    return 1 if firing else 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -1048,6 +1096,32 @@ def build_parser() -> argparse.ArgumentParser:
     perf_report.add_argument("--json", action="store_true",
                              help="emit the full trajectory document")
     perf_report.set_defaults(func=_cmd_perf)
+
+    dash = sub.add_parser(
+        "dash",
+        help="telemetry control tower: render a dashboard from a "
+             "repro.telemetry envelope or a seeded chaos drill",
+    )
+    dash.add_argument("--from", dest="from_file", default=None,
+                      metavar="FILE",
+                      help="render a saved repro.telemetry JSON envelope "
+                           "instead of running the built-in scenario")
+    dash.add_argument("--seed", type=int, default=7,
+                      help="seed for the built-in fleet chaos scenario")
+    dash.add_argument("--nodes", type=int, default=32)
+    dash.add_argument("--queries", type=int, default=10)
+    dash.add_argument("--shards", type=int, default=2)
+    dash.add_argument("--ticks", type=int, default=24,
+                      help="virtual ticks the scenario drives")
+    dash.add_argument("--json", action="store_true",
+                      help="emit the telemetry envelope as JSON instead of "
+                           "the terminal dashboard")
+    dash.add_argument("--html", default=None, metavar="PATH",
+                      help="also write a static HTML report")
+    dash.add_argument("--once", action="store_true",
+                      help="always exit 0 (default: exit 1 while any alert "
+                           "is firing, for scripting)")
+    dash.set_defaults(func=_cmd_dash)
     return parser
 
 

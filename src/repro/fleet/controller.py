@@ -164,6 +164,13 @@ class FleetController:
         service_kwargs: Extra keyword arguments forwarded to every
             shard's :class:`StreamQueryService` (resilience, adaptivity,
             tracer, ...).
+        telemetry: Optional :class:`~repro.obs.telemetry.TelemetryConfig`
+            (or prebuilt :class:`~repro.obs.telemetry.Telemetry`)
+            turning on continuous telemetry at the fleet level: every
+            :meth:`tick` ends by scraping the fleet registry and every
+            shard registry into one time-series store and evaluating
+            the alerting rules.  ``None`` (the default) adds no hooks
+            and leaves fleet behavior byte-identical.
     """
 
     def __init__(
@@ -182,6 +189,7 @@ class FleetController:
         tenants: TenantDirectory | Iterable[Tenant] | None = None,
         federation: bool = True,
         service_kwargs: dict | None = None,
+        telemetry=None,
     ) -> None:
         if num_shards < 1:
             raise ReproError("a fleet needs at least one shard")
@@ -292,6 +300,13 @@ class FleetController:
                     f"Live queries of tenant {tenant.name}.",
                 ),
             }
+
+        # Telemetry layer (opt-in, same contract as the service's).
+        from repro.obs.telemetry import ensure_telemetry
+
+        self.telemetry = ensure_telemetry(telemetry)
+        if self.telemetry is not None:
+            self.telemetry.bind_fleet(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -539,6 +554,8 @@ class FleetController:
         if self.scheduler is not None:
             report.deployed.extend(self._drain_backlog())
         self._record_gauges()
+        if self.telemetry is not None:
+            self.telemetry.on_fleet_tick(self, report)
         return report
 
     def _drain_backlog(self) -> list[tuple[str, int]]:

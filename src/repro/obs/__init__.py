@@ -17,9 +17,18 @@ Four layers, usable independently:
 * :mod:`repro.obs.explain` -- :class:`PlanExplanation` reports built
   from a deployment plus its span trace (``explain=True`` on the
   optimizer entry points, ``repro trace`` on the CLI).
+* :mod:`repro.obs.timeseries` / :mod:`repro.obs.rules` /
+  :mod:`repro.obs.flight` / :mod:`repro.obs.telemetry` -- the
+  continuous telemetry pipeline: a bounded :class:`TimeSeriesStore`
+  fed by a :class:`TelemetryScraper`, a declarative :class:`RulesEngine`
+  (threshold / absence / SLO burn-rate alerts with pending->firing->
+  resolved hysteresis), a :class:`FlightRecorder` black box, and the
+  :class:`Telemetry` pipeline services/fleets accept as ``telemetry=``.
+  Rendered by ``repro dash`` via :mod:`repro.obs.dashboard`.
 
 See ``docs/observability.md`` for the span and causal models and the
-metric naming scheme.
+metric naming scheme, and ``docs/telemetry.md`` for the telemetry
+pipeline.
 """
 
 from repro.obs.causal import (
@@ -37,6 +46,20 @@ from repro.obs.metrics import (
     MetricRegistry,
     series_summary,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.rules import (
+    AbsenceRule,
+    AlertRule,
+    BurnRateRule,
+    FairnessSkewRule,
+    RecordingRule,
+    RuleState,
+    RulesEngine,
+    ThresholdRule,
+    default_rule_pack,
+)
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.obs.timeseries import TelemetryScraper, TimeSeriesStore
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -56,4 +79,18 @@ __all__ = [
     "series_summary",
     "PlanExplanation",
     "build_explanation",
+    "TimeSeriesStore",
+    "TelemetryScraper",
+    "RuleState",
+    "AlertRule",
+    "ThresholdRule",
+    "AbsenceRule",
+    "BurnRateRule",
+    "FairnessSkewRule",
+    "RecordingRule",
+    "RulesEngine",
+    "default_rule_pack",
+    "FlightRecorder",
+    "Telemetry",
+    "TelemetryConfig",
 ]

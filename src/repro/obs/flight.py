@@ -1,0 +1,143 @@
+"""The flight recorder: a bounded black box dumped when things go wrong.
+
+:class:`FlightRecorder` keeps the last ``capacity`` noteworthy moments
+-- tick reports, runtime/rule events, causal message hops -- in one ring
+buffer.  When an alert fires or a circuit breaker opens, the telemetry
+pipeline calls :meth:`FlightRecorder.bundle` to freeze the buffer into a
+deterministic ``repro.flight_bundle`` JSON document: the recent history
+an operator (or a test) needs to reconstruct *why*, annotated with the
+causal trace ids involved so ``repro trace --causal`` can expand any hop
+into its full span tree.
+
+Determinism contract: entries carry only virtual times and structural
+data (never wall clock, never object ids), so the same seeded scenario
+produces byte-identical bundles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Mapping
+
+BUNDLE_KIND = "repro.flight_bundle"
+BUNDLE_VERSION = 1
+
+
+class FlightRecorder:
+    """Ring buffer of recent telemetry moments, dumpable as bundles.
+
+    Args:
+        capacity: Entries retained (oldest fall off).
+        max_bundles: Bundles retained (oldest fall off) -- an incident
+            storm cannot grow the envelope without bound.
+    """
+
+    def __init__(self, capacity: int = 256, max_bundles: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.bundles: deque[dict[str, Any]] = deque(maxlen=max_bundles)
+        self.recorded_total = 0
+        self.bundles_total = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, time: float, scope: str, **data: Any) -> None:
+        """Append one entry (``kind`` in {tick, event, hop, message})."""
+        self._entries.append(
+            {"kind": kind, "time": float(time), "scope": scope, **data}
+        )
+        self.recorded_total += 1
+
+    def record_tick(self, scope: str, time: float, report: Any) -> None:
+        """Append a service/fleet tick report (names only, no objects)."""
+        data: dict[str, Any] = {}
+        for field in ("deployed", "retired", "parked", "migrated", "drift_streams"):
+            value = getattr(report, field, None)
+            if value:
+                data[field] = [
+                    v if isinstance(v, str) else list(v) for v in value
+                ]
+        self.record("tick", time, scope, **data)
+
+    def record_event(self, scope: str, time: float, event: Mapping[str, Any]) -> None:
+        """Append a rule transition or runtime message."""
+        data = {k: v for k, v in event.items() if k not in ("time", "scope")}
+        self.record("event", time, scope, **data)
+
+    def record_hops(self, scope: str, hops: Iterable[Any]) -> int:
+        """Append causal message hops (:class:`~repro.obs.causal.Hop`).
+
+        Only structural fields are kept -- trace id, hop kind, endpoints
+        and virtual times -- so bundles stay deterministic and small.
+        """
+        n = 0
+        for hop in hops:
+            self.record(
+                "hop",
+                hop.send_time,
+                scope,
+                trace_id=hop.context.trace_id,
+                hop_kind=hop.kind,
+                src=hop.src,
+                dst=hop.dst,
+                deliver_time=hop.deliver_time,
+            )
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self) -> list[dict[str, Any]]:
+        """The retained entries, oldest first."""
+        return [dict(e) for e in self._entries]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct causal trace ids currently in the buffer, sorted."""
+        return sorted(
+            {e["trace_id"] for e in self._entries if e.get("trace_id")}
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Bundling
+    # ------------------------------------------------------------------
+    def bundle(
+        self,
+        reason: str,
+        time: float,
+        scope: str = "",
+        context: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Freeze the buffer into a deterministic debug bundle.
+
+        The bundle is also retained on :attr:`bundles` (bounded) so the
+        telemetry envelope carries the recent incident history.
+        """
+        doc = {
+            "kind": BUNDLE_KIND,
+            "version": BUNDLE_VERSION,
+            "reason": reason,
+            "time": float(time),
+            "scope": scope,
+            "context": dict(context or {}),
+            "trace_ids": self.trace_ids(),
+            "entries": self.entries(),
+        }
+        self.bundles.append(doc)
+        self.bundles_total += 1
+        return doc
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready recorder state for the telemetry envelope."""
+        return {
+            "capacity": self.capacity,
+            "recorded_total": self.recorded_total,
+            "bundles_total": self.bundles_total,
+            "bundles": [dict(b) for b in self.bundles],
+        }

@@ -22,6 +22,7 @@ On top of the log the registry adds two export formats:
 from __future__ import annotations
 
 import math
+import re
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 if TYPE_CHECKING:  # circular at runtime: runtime.metrics lazy-imports us
@@ -137,9 +138,19 @@ class Histogram(_Instrument):
         buckets: Sequence[float] | None = None,
     ) -> None:
         super().__init__(name, help, log, series)
-        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        # Dedupe and drop non-finite bounds: the +Inf bucket is implicit,
+        # so a caller-supplied inf would double it in the exposition.
+        bounds = tuple(
+            sorted(
+                {
+                    float(b)
+                    for b in (buckets if buckets is not None else DEFAULT_BUCKETS)
+                    if math.isfinite(b)
+                }
+            )
+        )
         if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
+            raise ValueError("histogram needs at least one finite bucket bound")
         self.bounds = bounds
         self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
         self.count = 0
@@ -298,13 +309,21 @@ class MetricRegistry:
         return out
 
     def exposition(self) -> str:
-        """Prometheus text exposition of every instrument."""
+        """Prometheus text exposition of every instrument.
+
+        Conforms to the text-format rules: metric names are sanitized to
+        ``[a-zA-Z_:][a-zA-Z0-9_:]*``, HELP text has ``\\`` and newlines
+        escaped, and histograms always emit their full bucket ladder
+        (including ``+Inf``), ``_sum`` and ``_count`` -- even before the
+        first observation.
+        """
         lines: list[str] = []
         for name in self.names():
             instrument = self._instruments[name]
+            exposed = _sanitize_name(name)
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
-            lines.append(f"# TYPE {name} {instrument.kind}")
+                lines.append(f"# HELP {exposed} {_escape_help(instrument.help)}")
+            lines.append(f"# TYPE {exposed} {instrument.kind}")
             if isinstance(instrument, Histogram):
                 cumulative = 0
                 for bound, count in zip(
@@ -312,14 +331,27 @@ class MetricRegistry:
                 ):
                     cumulative += count
                     lines.append(
-                        f'{name}_bucket{{le="{_fmt_bound(bound)}"}} {cumulative}'
+                        f'{exposed}_bucket{{le="{_fmt_bound(bound)}"}} {cumulative}'
                     )
-                lines.append(f"{name}_sum {_fmt_value(instrument.sum)}")
-                lines.append(f"{name}_count {instrument.count}")
+                lines.append(f"{exposed}_sum {_fmt_value(instrument.sum)}")
+                lines.append(f"{exposed}_count {instrument.count}")
             else:
                 value = instrument.value
-                lines.append(f"{name} {_fmt_value(0.0 if value is None else value)}")
+                lines.append(f"{exposed} {_fmt_value(0.0 if value is None else value)}")
         return "\n".join(lines) + "\n"
+
+
+def _sanitize_name(name: str) -> str:
+    """Force a metric name into ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not re.match(r"[a-zA-Z_:]", sanitized[0]):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the Prometheus text format (``\\`` and LF)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_bound(bound: float) -> str:

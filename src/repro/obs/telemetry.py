@@ -1,0 +1,290 @@
+"""The telemetry pipeline: scrape -> evaluate -> record, every tick.
+
+:class:`Telemetry` is the opt-in glue between the control planes and the
+observability primitives in this package.  Pass a
+:class:`TelemetryConfig` (or a prebuilt :class:`Telemetry`) as the
+``telemetry=`` argument of :class:`~repro.service.service.StreamQueryService`
+or :class:`~repro.fleet.controller.FleetController` and every tick:
+
+1. the :class:`~repro.obs.timeseries.TelemetryScraper` pulls all bound
+   metric registries into the :class:`~repro.obs.timeseries.TimeSeriesStore`
+   (service/shard/fleet/tenant/resilience/adaptive instruments alike);
+2. the :class:`~repro.obs.rules.RulesEngine` evaluates its recording and
+   alerting rules over the fresh samples;
+3. the :class:`~repro.obs.flight.FlightRecorder` logs the tick (and any
+   new causal hops), and freezes a debug bundle whenever an alert
+   transitions to FIRING or a circuit breaker opens.
+
+The whole pipeline follows the repo's opt-in-layer contract
+(``resilience=None`` / ``adaptivity=None`` / ``NULL_TRACER``): with
+``telemetry=None`` -- the default -- no scraper, store, rules or hooks
+exist and service/fleet behavior is byte-identical to before this
+module existed.  The pipeline itself only *reads* instruments and never
+touches service state, so behavior with telemetry on differs from off
+only by the envelope it produces.
+
+:meth:`Telemetry.envelope` exports everything as one ``repro.telemetry``
+JSON document -- the interchange format ``repro dash`` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.rules import (
+    AlertRule,
+    RecordingRule,
+    RulesEngine,
+    default_rule_pack,
+)
+from repro.obs.timeseries import TelemetryScraper, TimeSeriesStore, scoped_name
+
+ENVELOPE_KIND = "repro.telemetry"
+ENVELOPE_VERSION = 1
+
+#: Counter whose increase means a circuit breaker opened somewhere.
+_BREAKER_METRIC = "resilience_breaker_opens_total"
+
+
+@dataclass
+class TelemetryConfig:
+    """Tuning for one :class:`Telemetry` pipeline.
+
+    Attributes:
+        cadence: Minimum ticks between scrapes (1.0 = every tick).
+        store_capacity: Ring-buffer samples kept per series.
+        rules: Explicit rule list; ``None`` installs
+            :func:`~repro.obs.rules.default_rule_pack` per bound scope.
+        flight_capacity: Flight-recorder entries retained.
+        max_bundles: Debug bundles retained in the envelope.
+        include_wall_clock: Keep wall-clock-dependent series (off by
+            default so envelopes are seed-deterministic).
+        bundle_on_alerts: Freeze a bundle when an alert starts firing.
+        bundle_on_breaker_open: Freeze a bundle when a breaker opens.
+    """
+
+    cadence: float = 1.0
+    store_capacity: int = 512
+    rules: Sequence[AlertRule | RecordingRule] | None = None
+    flight_capacity: int = 256
+    max_bundles: int = 8
+    include_wall_clock: bool = False
+    bundle_on_alerts: bool = True
+    bundle_on_breaker_open: bool = True
+    extra_drop: tuple[str, ...] = field(default_factory=tuple)
+
+
+class Telemetry:
+    """One telemetry pipeline bound to a service or a fleet.
+
+    Build it standalone (then ``bind_service`` / ``bind_fleet``
+    yourself) or let the service/fleet constructor do it by passing a
+    :class:`TelemetryConfig` as ``telemetry=``.
+    """
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.store = TimeSeriesStore(capacity=self.config.store_capacity)
+        self.scraper = TelemetryScraper(
+            self.store,
+            cadence=self.config.cadence,
+            include_wall_clock=self.config.include_wall_clock,
+            drop=self.config.extra_drop,
+        )
+        self.recorder = FlightRecorder(
+            capacity=self.config.flight_capacity,
+            max_bundles=self.config.max_bundles,
+        )
+        self.engine = RulesEngine(self.store)
+        if self.config.rules is not None:
+            for rule in self.config.rules:
+                self.engine.add(rule)
+        self._default_rules = self.config.rules is None
+        self._causal: list[tuple[str, Any, int]] = []  # (scope, tracer, cursor)
+        self._breaker_totals: dict[str, float] = {}
+        self.ticks_observed = 0
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def bind_service(self, service: Any, scope: str = "service") -> None:
+        """Attach one :class:`StreamQueryService`'s instruments.
+
+        Registers the service registry for scraping, installs the
+        default rule pack for the scope (unless explicit rules were
+        configured), and starts harvesting its causal tracer's hops
+        (when the service has one) into the flight recorder.
+        """
+        self.scraper.register(scope, service.registry)
+        if self._default_rules:
+            for rule in default_rule_pack([scope]):
+                self.engine.add(rule)
+        causal = getattr(service, "causal", None)
+        if causal is not None and getattr(causal, "enabled", False):
+            self.watch_causal(scope, causal)
+
+    def bind_fleet(self, fleet: Any) -> None:
+        """Attach a whole :class:`FleetController`.
+
+        The fleet registry scrapes under ``fleet``, shard ``i`` under
+        ``shard<i>``; with tenants configured, a fairness-skew rule over
+        the ``fleet.tenant_live_*`` gauges joins the default pack.
+        """
+        self.scraper.register("fleet", fleet.registry)
+        shard_scopes = []
+        for sid, shard in enumerate(fleet.shards):
+            scope = f"shard{sid}"
+            shard_scopes.append(scope)
+            self.bind_service(shard, scope=scope)
+        if self._default_rules and len(fleet.tenants):
+            from repro.fleet.controller import _metric_suffix
+
+            weights = {
+                scoped_name("fleet", f"tenant_live_{_metric_suffix(t.name)}"): t.weight
+                for t in fleet.tenants
+            }
+            if len(weights) >= 2:
+                for rule in default_rule_pack((), tenant_weights=weights):
+                    self.engine.add(rule)
+
+    def watch_causal(self, scope: str, tracer: Any) -> None:
+        """Harvest a :class:`~repro.obs.causal.CausalTracer`'s new hops
+        into the flight recorder on every observation."""
+        if any(t is tracer for _, t, _ in self._causal):
+            return
+        self._causal.append((scope, tracer, 0))
+
+    # ------------------------------------------------------------------
+    # Tick hooks (called by the service/fleet at end of tick)
+    # ------------------------------------------------------------------
+    def on_service_tick(self, service: Any, report: Any) -> None:
+        """Observe one service tick (scrape + rules + recorder)."""
+        now = report.time
+        self.recorder.record_tick("service", now, report)
+        self._observe(now)
+
+    def on_fleet_tick(self, fleet: Any, report: Any) -> None:
+        """Observe one fleet tick (per-shard reports + scrape + rules)."""
+        now = report.time
+        for sid, shard_report in enumerate(report.shard_reports):
+            self.recorder.record_tick(f"shard{sid}", now, shard_report)
+        self._observe(now)
+
+    def observe(self, now: float, force: bool = False) -> list[dict[str, Any]]:
+        """Manually drive one observation (for unbound/ad-hoc use)."""
+        return self._observe(now, force=force)
+
+    def _observe(self, now: float, force: bool = False) -> list[dict[str, Any]]:
+        self.ticks_observed += 1
+        if not force and not self.scraper.due(now):
+            return []
+        self.scraper.scrape(now, force=True)
+        self._harvest_causal()
+        transitions = self.engine.evaluate(now)
+        for event in transitions:
+            self.recorder.record_event(
+                event.get("labels", {}).get("scope", ""), now, event
+            )
+        opened = self._breaker_opens(now)
+        if self.config.bundle_on_breaker_open:
+            for scope, delta in opened:
+                self.recorder.bundle(
+                    "breaker_open",
+                    now,
+                    scope=scope,
+                    context={"metric": _BREAKER_METRIC, "opens": delta},
+                )
+        if self.config.bundle_on_alerts:
+            for event in transitions:
+                if event["to"] == "firing":
+                    self.recorder.bundle(
+                        f"alert:{event['rule']}",
+                        now,
+                        scope=event.get("labels", {}).get("scope", ""),
+                        context={
+                            "rule": event["rule"],
+                            "severity": event["severity"],
+                            "value": event["value"],
+                        },
+                    )
+        return transitions
+
+    def _harvest_causal(self) -> None:
+        for i, (scope, tracer, cursor) in enumerate(self._causal):
+            hops = tracer.hops
+            if len(hops) > cursor:
+                self.recorder.record_hops(scope, hops[cursor:])
+                self._causal[i] = (scope, tracer, len(hops))
+
+    def _breaker_opens(self, now: float) -> list[tuple[str, float]]:
+        """Scopes whose breaker-open counter grew since the last scrape."""
+        opened: list[tuple[str, float]] = []
+        for scope in self.scraper.scopes():
+            series = scoped_name(scope, _BREAKER_METRIC)
+            value = self.store.last(series)
+            if value is None:
+                continue
+            previous = self._breaker_totals.get(scope, 0.0)
+            if value > previous:
+                opened.append((scope, value - previous))
+            self._breaker_totals[scope] = value
+        return opened
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def alerts(self) -> list[dict[str, Any]]:
+        """Snapshot of every alert rule (firing first, then by name)."""
+        snaps = [r.snapshot() for r in self.engine.alerts]
+        return sorted(
+            snaps, key=lambda s: (s["state"] != "firing", s["name"])
+        )
+
+    def envelope(self) -> dict[str, Any]:
+        """The full ``repro.telemetry`` JSON document.
+
+        Deterministic for a fixed seed + scenario (series sorted by
+        name, rules in declaration order, no wall clock anywhere unless
+        ``include_wall_clock`` was set).
+        """
+        return {
+            "kind": ENVELOPE_KIND,
+            "version": ENVELOPE_VERSION,
+            "scraper": self.scraper.summary(),
+            "series": self.store.to_dict(),
+            "rules": self.engine.snapshot(),
+            "alerts": self.alerts(),
+            "flight": self.recorder.snapshot(),
+        }
+
+
+def ensure_telemetry(
+    telemetry: "Telemetry | TelemetryConfig | None",
+) -> Telemetry | None:
+    """Normalize a ``telemetry=`` constructor argument.
+
+    ``None`` stays ``None`` (the layer stays off); a config is wrapped
+    in a fresh pipeline; a pipeline passes through (letting one
+    pipeline watch several control planes).
+    """
+    if telemetry is None:
+        return None
+    if isinstance(telemetry, Telemetry):
+        return telemetry
+    if isinstance(telemetry, TelemetryConfig):
+        return Telemetry(telemetry)
+    raise TypeError(
+        f"telemetry= expects TelemetryConfig, Telemetry or None, "
+        f"got {type(telemetry).__name__}"
+    )
+
+
+def envelope_from_json(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate a loaded ``repro.telemetry`` document (for ``repro dash``)."""
+    if doc.get("kind") != ENVELOPE_KIND:
+        raise ValueError(
+            f"not a telemetry envelope: kind={doc.get('kind')!r}"
+        )
+    return dict(doc)

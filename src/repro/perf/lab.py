@@ -172,6 +172,41 @@ def _case_fleet_churn() -> OpProfiler:
     return prof
 
 
+def _case_telemetry_overhead() -> OpProfiler:
+    """Service churn with the telemetry pipeline armed.
+
+    The pipeline only reads instruments, so its op counts (plans,
+    probes, ticks) must match ``service_churn`` exactly -- the case
+    exists so the 25% gate catches telemetry ever leaking work into
+    the planner path, and its wall samples price the scrape loop.
+    """
+    from repro.core import make_optimizer
+    from repro.obs.telemetry import TelemetryConfig
+    from repro.service import AdmissionController, StreamQueryService
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    service = StreamQueryService(
+        optimizer,
+        net,
+        rates,
+        hierarchy=hierarchy,
+        admission=AdmissionController(budget=4, max_per_tick=2),
+        telemetry=TelemetryConfig(),
+    )
+    with profiled() as prof:
+        for i, query in enumerate(workload):
+            service.submit(query, lifetime=4.0 + (i % 3))
+        for _ in range(30):
+            with prof.sample("telemetry_tick"):
+                service.tick()
+        prof.count(
+            "telemetry_samples", service.telemetry.scraper.samples_total
+        )
+        prof.count("telemetry_series", len(service.telemetry.store))
+    return prof
+
+
 CASES: dict[str, Callable[[], OpProfiler]] = {
     "plan_top_down": _case_plan_hierarchical("top-down"),
     "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
@@ -179,6 +214,7 @@ CASES: dict[str, Callable[[], OpProfiler]] = {
     "deploy_protocol": _case_deploy_protocol,
     "service_churn": _case_service_churn,
     "fleet_churn": _case_fleet_churn,
+    "telemetry_overhead": _case_telemetry_overhead,
 }
 
 #: The subset CI runs on every push (all of them -- the suite is sized

@@ -40,10 +40,18 @@ from repro.errors import (
 from repro.query.deployment import Deployment
 from repro.query.query import Query
 from repro.resilience.faults import NULL_FAULTS
-from repro.resilience.policy import BreakerBoard, RetryPolicy
+from repro.resilience.policy import BreakerBoard, BreakerState, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricRegistry
     from repro.service.service import StreamQueryService
+
+#: Gauge encoding of a breaker state (telemetry rules compare numbers).
+BREAKER_STATE_VALUES: dict[BreakerState, float] = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
 
 
 @dataclass
@@ -120,6 +128,7 @@ class ResilientControl:
         self.quarantined_total = 0
         self._fallback = None
         self._instruments: dict[str, Any] = {}
+        self._registry: "MetricRegistry | None" = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -136,7 +145,23 @@ class ResilientControl:
         self._fallback = PlanThenDeploy(
             service.network, service.rates, candidates_fn=candidates_fn
         )
-        reg = service.registry
+        self.bind_instruments(service.registry)
+
+    def bind_instruments(self, registry: "MetricRegistry") -> None:
+        """Declare the resilience instruments on ``registry``.
+
+        Mirrors :meth:`AdmissionController.bind_instruments`: idempotent
+        (re-binding to the same registry reuses the instruments) and
+        callable without a full :meth:`bind` for consumers that only
+        want the metrics.  Besides the counters and the parked/
+        quarantined gauges, every coordinator the breaker board has seen
+        gets a ``resilience_breaker_state_<node>`` gauge encoding its
+        state per :data:`BREAKER_STATE_VALUES` (0 closed, 1 half-open,
+        2 open), created lazily as breakers appear and kept current by
+        :meth:`sync_breaker_gauges`.
+        """
+        self._registry = registry
+        reg = registry
         self._instruments = {
             "retries": reg.counter(
                 "resilience_retries_total", "Plan attempts retried after a failure."
@@ -161,6 +186,21 @@ class ResilientControl:
                 "resilience_backoff_seconds", "Virtual backoff spent on plan retries."
             ),
         }
+        self.sync_breaker_gauges()
+
+    def sync_breaker_gauges(self, now: float = 0.0) -> None:
+        """Refresh the per-coordinator breaker-state gauges."""
+        if self._registry is None:
+            return
+        for node, state in self.breakers.states().items():
+            gauge = self._registry.gauge(
+                f"resilience_breaker_state_{node}",
+                f"Breaker state for coordinator {node} "
+                "(0=closed, 1=half-open, 2=open).",
+            )
+            value = BREAKER_STATE_VALUES[state]
+            if gauge.value != value:
+                gauge.set(value, time=now)
 
     def _inc(self, name: str, amount: float = 1.0, time: float = 0.0) -> None:
         instrument = self._instruments.get(name)
@@ -214,6 +254,7 @@ class ResilientControl:
                     continue
                 if coordinator is not None:
                     self.breakers.record_success(coordinator, now)
+                    self.sync_breaker_gauges(now)
                 if rung != "hierarchical":
                     deployment.stats = {**deployment.stats, "resilience_rung": rung}
                     self.degraded_queries.add(query.name)
@@ -222,6 +263,7 @@ class ResilientControl:
                 span.tag(rung=rung, attempts=attempts)
                 return deployment
             self._quarantine_flapping(service, now)
+            self.sync_breaker_gauges(now)
             span.tag(outcome="exhausted")
         raise PlanningError(
             f"no rung could plan {query.name!r}: " + "; ".join(failures)
@@ -271,6 +313,7 @@ class ResilientControl:
         breaker.record_failure(now)
         if breaker.opened_count > opens_before:
             self._inc("breaker_opens", time=now)
+        self.sync_breaker_gauges(now)
 
     def _check_coordinator(self, query: Query, coordinator: int, now: float) -> None:
         """Simulated RPC admission: unreachable/slow coordinators fail."""

@@ -253,6 +253,13 @@ class BreakerBoard:
     def record_failure(self, node: int, now: float) -> None:
         self.breaker(node).record_failure(now)
 
+    def states(self) -> dict[int, BreakerState]:
+        """Current state of every instantiated breaker, keyed by node."""
+        return {
+            node: breaker.state
+            for node, breaker in sorted(self._breakers.items())
+        }
+
     def open_nodes(self) -> list[int]:
         """Nodes whose breaker is currently OPEN."""
         return sorted(

@@ -309,6 +309,26 @@ def fault_plan_from_json(text: str):
     return FaultPlan.from_dict(doc)
 
 
+def telemetry_to_json(telemetry) -> str:
+    """Serialize a telemetry envelope.
+
+    Accepts a :class:`repro.obs.telemetry.Telemetry` pipeline or an
+    already-built envelope dict; the ``repro.telemetry`` kind tag is
+    part of the envelope itself.
+    """
+    doc = telemetry.envelope() if hasattr(telemetry, "envelope") else dict(telemetry)
+    if doc.get("kind") != "repro.telemetry":
+        raise ValueError(f"not a telemetry envelope: kind={doc.get('kind')!r}")
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def telemetry_from_json(text: str) -> dict[str, Any]:
+    """Load and validate an envelope written by :func:`telemetry_to_json`."""
+    from repro.obs.telemetry import envelope_from_json
+
+    return envelope_from_json(json.loads(text))
+
+
 def failure_report_to_json(report) -> str:
     """Serialize a :class:`repro.runtime.failover.FailureReport`."""
     doc = {

@@ -170,6 +170,15 @@ class StreamQueryService:
             replays when callers pass ``service.causal`` through to
             :func:`~repro.runtime.protocol.simulate_deployment`).
             ``None`` (the default) leaves every simulator untraced.
+        telemetry: Optional :class:`~repro.obs.telemetry.TelemetryConfig`
+            (or prebuilt :class:`~repro.obs.telemetry.Telemetry`)
+            turning on continuous telemetry: every :meth:`tick` ends by
+            scraping the metric registry into a time-series store,
+            evaluating the alerting rules, and feeding the flight
+            recorder.  With ``None`` (the default) no scraper, store or
+            hook exists and behavior is byte-identical to before the
+            subsystem existed (same contract as ``resilience`` /
+            ``adaptivity``).
     """
 
     def __init__(
@@ -188,6 +197,7 @@ class StreamQueryService:
         faults=None,
         adaptivity: AdaptivityConfig | AdaptivityLoop | None = None,
         causal=None,
+        telemetry=None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
@@ -282,6 +292,14 @@ class StreamQueryService:
                 else AdaptivityLoop(adaptivity)
             )
             self.adaptivity.bind(self)
+
+        # Telemetry layer, same contract again: the scraper, store and
+        # rules engine exist only when asked for.
+        from repro.obs.telemetry import ensure_telemetry
+
+        self.telemetry = ensure_telemetry(telemetry)
+        if self.telemetry is not None:
+            self.telemetry.bind_service(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -480,6 +498,8 @@ class StreamQueryService:
                 report.drift_streams.extend(adaptive.drift.streams)
             report.migrated.extend(m.query for m in adaptive.committed)
         self._record_gauges()
+        if self.telemetry is not None:
+            self.telemetry.on_service_tick(self, report)
         return report
 
     def retire(self, name: str) -> bool:

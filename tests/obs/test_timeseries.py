@@ -1,0 +1,197 @@
+"""TimeSeriesStore ring buffers, aggregations, and the registry scraper."""
+
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.obs.timeseries import (
+    WALL_CLOCK_SERIES,
+    TelemetryScraper,
+    TimeSeriesStore,
+    scoped_name,
+)
+
+
+class TestTimeSeriesStore:
+    def test_append_and_lookup(self):
+        store = TimeSeriesStore()
+        store.append("a", 1.0, 10.0)
+        store.append("a", 2.0, 12.0)
+        store.append("b", 1.0, 0.5)
+        assert store.names() == ["a", "b"]
+        assert store.series("a") == [(1.0, 10.0), (2.0, 12.0)]
+        assert store.last("a") == 12.0
+        assert store.last_time("a") == 2.0
+        assert store.last("missing") is None
+        assert len(store) == 2
+
+    def test_capacity_is_a_ring_buffer(self):
+        store = TimeSeriesStore(capacity=3)
+        for t in range(6):
+            store.append("a", float(t), float(t * 10))
+        assert store.series("a") == [(3.0, 30.0), (4.0, 40.0), (5.0, 50.0)]
+        with pytest.raises(ValueError):
+            TimeSeriesStore(capacity=0)
+
+    def test_window_filters_by_time(self):
+        store = TimeSeriesStore()
+        for t in range(10):
+            store.append("a", float(t), float(t))
+        assert store.window("a", duration=3.0) == [
+            (6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0),
+        ]
+        assert store.window("a", duration=2.0, now=5.0) == [
+            (3.0, 3.0), (4.0, 4.0), (5.0, 5.0),
+        ]
+        assert store.window("a") == store.series("a")
+
+    def test_delta_and_rate(self):
+        store = TimeSeriesStore()
+        store.append("c", 1.0, 10.0)
+        assert store.delta("c") is None  # one sample is not a trend
+        store.append("c", 3.0, 16.0)
+        assert store.delta("c") == 6.0
+        assert store.rate("c") == 3.0
+        store.append("c", 3.0, 16.0)  # zero elapsed inside the window
+        assert store.rate("c", window=0.0) is None
+
+    def test_ewma_smooths_toward_recent_values(self):
+        store = TimeSeriesStore()
+        for t, v in enumerate([0.0, 0.0, 0.0, 10.0]):
+            store.append("a", float(t), v)
+        smoothed = store.ewma("a", alpha=0.5)
+        assert 0.0 < smoothed < 10.0
+        assert smoothed == 5.0  # 0 -> 0 -> 0 -> (0.5*10 + 0.5*0)
+        with pytest.raises(ValueError):
+            store.ewma("a", alpha=0.0)
+
+    def test_bucketed_quantile_brackets_the_exact_rank(self):
+        store = TimeSeriesStore()
+        for t in range(100):
+            store.append("lat", float(t), float(t))
+        p50 = store.quantile("lat", 0.5)
+        p95 = store.quantile("lat", 0.95)
+        assert 40.0 <= p50 <= 60.0
+        assert 90.0 <= p95 <= 99.0
+        assert store.quantile("lat", 0.0) == 0.0
+        # constant series short-circuits to the constant
+        store.append("flat", 0.0, 7.0)
+        store.append("flat", 1.0, 7.0)
+        assert store.quantile("flat", 0.9) == 7.0
+        with pytest.raises(ValueError):
+            store.quantile("lat", 1.5)
+
+    def test_aggregate_dispatch(self):
+        store = TimeSeriesStore()
+        for t, v in enumerate([1.0, 5.0, 3.0]):
+            store.append("a", float(t), v)
+        assert store.aggregate("a", "last") == 3.0
+        assert store.aggregate("a", "min") == 1.0
+        assert store.aggregate("a", "max") == 5.0
+        assert store.aggregate("a", "mean") == 3.0
+        assert store.aggregate("a", "delta") == 2.0
+        assert store.aggregate("a", "quantile", q=0.5) is not None
+        assert store.aggregate("missing", "last") is None
+        with pytest.raises(ValueError):
+            store.aggregate("a", "median")
+        with pytest.raises(ValueError):
+            store.aggregate("a", "quantile")  # q is required
+
+    def test_to_dict_roundtrip(self):
+        store = TimeSeriesStore()
+        store.append("b", 1.0, 2.0)
+        store.append("a", 1.0, 1.0)
+        doc = store.to_dict()
+        assert list(doc) == ["a", "b"]  # sorted for determinism
+        rebuilt = TimeSeriesStore.from_dict(doc)
+        assert rebuilt.to_dict() == doc
+
+
+class TestTelemetryScraper:
+    def _registry(self):
+        registry = MetricRegistry()
+        counter = registry.counter("reqs_total", help="requests")
+        gauge = registry.gauge("depth", help="queue depth")
+        hist = registry.histogram("wait", help="wait", buckets=(1.0, 5.0, 10.0))
+        return registry, counter, gauge, hist
+
+    def test_scrapes_counters_gauges_histograms(self):
+        registry, counter, gauge, hist = self._registry()
+        store = TimeSeriesStore()
+        scraper = TelemetryScraper(store)
+        scraper.register("svc", registry)
+        counter.inc(3, time=0.5)
+        gauge.set(7, time=0.5)
+        for v in (0.5, 2.0, 8.0):
+            hist.observe(v, time=0.5)
+        appended = scraper.scrape(1.0)
+        assert appended > 0
+        assert store.last("svc.reqs_total") == 3.0
+        assert store.last("svc.depth") == 7.0
+        assert store.last("svc.wait_count") == 3.0
+        assert store.last("svc.wait_sum") == 10.5
+        assert store.last("svc.wait_p50") is not None
+        assert store.last("svc.wait_p95") is not None
+
+    def test_unset_gauges_and_empty_histogram_quantiles_are_skipped(self):
+        registry, counter, gauge, hist = self._registry()
+        store = TimeSeriesStore()
+        scraper = TelemetryScraper(store)
+        scraper.register("svc", registry)
+        counter.inc(time=0.0)
+        scraper.scrape(1.0)
+        assert store.last("svc.depth") is None  # never set
+        assert store.last("svc.wait_count") == 0.0  # count/sum always emit
+        assert store.last("svc.wait_p50") is None  # but no quantiles
+
+    def test_cadence_gates_scrapes(self):
+        registry, counter, *_ = self._registry()
+        store = TimeSeriesStore()
+        scraper = TelemetryScraper(store, cadence=2.0)
+        scraper.register("svc", registry)
+        counter.inc(time=0.0)
+        assert scraper.due(1.0)
+        assert scraper.scrape(1.0) > 0
+        assert not scraper.due(2.0)
+        assert scraper.scrape(2.0) == 0
+        assert scraper.scrape(2.0, force=True) > 0
+        assert scraper.due(4.5)
+        with pytest.raises(ValueError):
+            TelemetryScraper(store, cadence=0.0)
+
+    def test_wall_clock_series_dropped_by_default(self):
+        registry = MetricRegistry()
+        wall = registry.histogram("service_planning_seconds", help="wall")
+        wall.observe(0.01, time=0.0)
+        assert "service_planning_seconds" in WALL_CLOCK_SERIES
+
+        store = TimeSeriesStore()
+        scraper = TelemetryScraper(store, include_wall_clock=False)
+        scraper.register("svc", registry)
+        scraper.scrape(1.0)
+        assert store.names() == []
+
+        kept = TimeSeriesStore()
+        keeper = TelemetryScraper(kept, include_wall_clock=True)
+        keeper.register("svc", registry)
+        keeper.scrape(1.0)
+        assert "svc.service_planning_seconds_count" in kept.names()
+
+    def test_register_is_idempotent_and_sources_plug_in(self):
+        registry, counter, *_ = self._registry()
+        store = TimeSeriesStore()
+        scraper = TelemetryScraper(store)
+        scraper.register("svc", registry)
+        scraper.register("svc", registry)
+        scraper.add_source("extra", lambda: {"custom": 42.0})
+        assert scraper.scopes() == ["svc", "extra"]
+        counter.inc(time=0.0)
+        scraper.scrape(1.0)
+        assert store.series("svc.reqs_total") == [(1.0, 3.0)] or store.series(
+            "svc.reqs_total"
+        ) == [(1.0, 1.0)]  # scraped once, not twice
+        assert len(store.series("svc.reqs_total")) == 1
+        assert store.last("extra.custom") == 42.0
+
+    def test_scoped_name(self):
+        assert scoped_name("svc", "m") == "svc.m"
+        assert scoped_name("", "m") == "m"
