@@ -326,6 +326,15 @@ class Migrator:
         self.seconds_per_byte = seconds_per_byte
         self.simulate = simulate
         self.trace = trace
+        #: Optional :class:`~repro.durability.Durability`; when set the
+        #: migrator journals begin / barrier-phase / commit / abort
+        #: markers so crash points can land mid-cutover and recovery can
+        #: report exactly how far an in-flight migration got.
+        self.durability = None
+
+    def _mark(self, kind: str, now: float, data: dict) -> None:
+        if self.durability is not None:
+            self.durability.marker(kind, now, data)
 
     # ------------------------------------------------------------------
     def simulate_cutover(
@@ -424,10 +433,30 @@ class Migrator:
         """
         name = old.query.name
         old_cost = engine.state.query_cost(name)
+        self._mark(
+            "migrate_begin",
+            now,
+            {
+                "query": name,
+                "operators": len(diff.moved),
+                "state_bytes": diff.total_state_bytes,
+            },
+        )
         timeline: CutoverTimeline | None = None
         if self.simulate and diff.moved:
             timeline = self.simulate_cutover(diff, old.query.sink, start_time=now)
+            if timeline.pause_done is not None:
+                self._mark("migrate_phase", now, {"query": name, "phase": "pause"})
+            if timeline.transfer_done is not None:
+                self._mark("migrate_phase", now, {"query": name, "phase": "transfer"})
+            if timeline.completed is not None:
+                self._mark("migrate_phase", now, {"query": name, "phase": "resume"})
             if not timeline.committed:
+                self._mark(
+                    "migrate_abort",
+                    now,
+                    {"query": name, "reason": "cutover protocol incomplete"},
+                )
                 return MigrationOutcome(
                     query=name,
                     committed=False,
@@ -439,6 +468,7 @@ class Migrator:
                     new_cost=old_cost,
                     timeline=timeline,
                 )
+        self._mark("migrate_phase", now, {"query": name, "phase": "swap"})
         engine.undeploy(name, time=now)
         try:
             engine.deploy(candidate, time=now)
@@ -448,6 +478,11 @@ class Migrator:
             engine.deploy(old, time=now)
             if ads is not None:
                 ads.sync_from_state(engine.state)
+            self._mark(
+                "migrate_abort",
+                now,
+                {"query": name, "reason": "candidate failed to install"},
+            )
             return MigrationOutcome(
                 query=name,
                 committed=False,
@@ -459,6 +494,11 @@ class Migrator:
             )
         if ads is not None:
             ads.sync_from_state(engine.state)
+        self._mark(
+            "migrate_commit",
+            now,
+            {"query": name, "operators": len(diff.moved)},
+        )
         return MigrationOutcome(
             query=name,
             committed=True,

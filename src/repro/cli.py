@@ -174,6 +174,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    durability = None
+    if args.state_dir:
+        from repro.durability import DurabilityConfig
+
+        durability = DurabilityConfig(state_dir=args.state_dir)
     service = StreamQueryService(
         optimizer,
         network,
@@ -182,6 +187,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ads=ads,
         admission=admission,
         cache=PlanCache(capacity=args.cache_capacity),
+        durability=durability,
     )
     trace = churn_trace(
         workload,
@@ -219,6 +225,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             continue
         value = instrument.value
         print(f"    {name} = {0.0 if value is None else value:g}")
+    if service.durability is not None:
+        d = service.durability.summary()
+        print(f"  durability: {d['journal_records']} journal records "
+              f"(lsn {d['journal_lsn']}), {d['snapshots']} snapshots "
+              f"-> {d['state_dir']}")
     return 0
 
 
@@ -248,6 +259,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     network, workload = _generated_workload(args)
     rates = workload.rate_model()
     hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    durability = None
+    if args.state_dir:
+        from repro.durability import DurabilityConfig
+
+        durability = DurabilityConfig(state_dir=args.state_dir)
     try:
         tenants = _parse_tenants(args.tenant)
         fleet = FleetController(
@@ -262,6 +278,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             max_per_tick=args.per_tick,
             tenants=tenants,
             federation=not args.no_federation,
+            durability=durability,
         )
     except (ValueError, repro.ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -316,6 +333,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"submitted {t.get('submitted', 0):.0f}, "
               f"admitted {t.get('admitted', 0):.0f}, "
               f"rejected {t.get('rejected', 0):.0f}")
+    if fleet.durability is not None:
+        d = fleet.durability.summary()
+        print(f"  durability: {d['journal_records']} journal records "
+              f"(lsn {d['journal_lsn']}), {d['snapshots']} snapshots "
+              f"-> {d['state_dir']}")
     if violations:
         print("  INVARIANT VIOLATIONS:")
         for violation in violations:
@@ -495,9 +517,30 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 def _cmd_dash(args: argparse.Namespace) -> int:
     import json
+    import pathlib
 
     from repro.obs.dashboard import render_html, render_terminal
     from repro.serialization import telemetry_from_json
+
+    if args.from_file and pathlib.Path(args.from_file).is_dir():
+        # A durability state directory: show the flight bundles the
+        # crashed run persisted (incident history survives the restart).
+        from repro.obs.flight import load_bundles
+
+        bundles = load_bundles(args.from_file)
+        if args.json:
+            print(json.dumps(bundles, indent=2, sort_keys=True))
+            return 0
+        print(f"persisted flight bundles: {args.from_file} "
+              f"({len(bundles)} bundle(s))")
+        for i, bundle in enumerate(bundles):
+            print(f"  [{i}] t={bundle['time']:g} scope={bundle['scope'] or '-'} "
+                  f"reason={bundle['reason']} entries={len(bundle['entries'])} "
+                  f"traces={len(bundle['trace_ids'])}")
+        if not bundles:
+            print("  (none -- the run never cut a bundle, or the "
+                  "directory has no flight/ subdirectory)")
+        return 0
 
     if args.from_file:
         try:
@@ -577,8 +620,113 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.durability import inspect_state_dir
+
+    state_dir = pathlib.Path(args.state_dir)
+    if not state_dir.is_dir():
+        print(f"error: state directory not found: {state_dir}", file=sys.stderr)
+        return 2
+    if not args.inspect:
+        print("error: offline recovery needs the owning process's "
+              "deterministic factory; use --inspect for the read-only "
+              "report, or recover() from the library "
+              "(see docs/durability.md)", file=sys.stderr)
+        return 2
+    doc = inspect_state_dir(state_dir)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    j = doc["journal"]
+    print(f"state directory: {doc['state_dir']}")
+    print(f"  journal: {j['records']} valid records (lsn {j['last_lsn']})")
+    if j["dropped_lines"]:
+        print(f"    would drop: {j['dropped_lines']} line(s), "
+              f"{j['dropped_bytes']} bytes -- {j['drop_reason']}")
+    else:
+        print("    tail: clean (nothing to drop)")
+    for kind, count in j["kinds"].items():
+        print(f"    {kind}: {count}")
+    for snap in doc["snapshots"]:
+        status = "ok" if snap["valid"] else f"REJECTED ({snap['reason']})"
+        print(f"  snapshot {snap['file']}: "
+              f"lsn {snap.get('lsn', '?')} [{status}]")
+    if not doc["snapshots"]:
+        print("  snapshots: none (recovery would replay the whole journal)")
+    rec = doc["recovery"]
+    print(f"  recovery would: restore lsn {rec['snapshot_lsn']}, then replay "
+          f"{rec['replay_records']} command(s) ({rec['replay_ticks']} ticks)")
+    for mig in doc["in_flight_migrations"]:
+        print(f"  in-flight migration: {mig['query']} at barrier "
+              f"{mig['phase']!r} (begun lsn {mig['begin_lsn']})")
+    return 0
+
+
+def _cmd_chaos_crash(args: argparse.Namespace) -> int:
+    """``repro chaos --crash-points N``: the crash-restart matrix."""
+    import json
+    import tempfile
+
+    from repro.durability.harness import (
+        SCENARIOS,
+        crash_restart_matrix,
+        default_crash_points,
+        run_steps,
+        scan_journal,
+    )
+    from repro.durability.journal import JOURNAL_FILE
+
+    scenario = SCENARIOS[args.crash_scope]()
+    state_root = args.state_dir or tempfile.mkdtemp(prefix="repro-crash-")
+    limit = args.crash_points if args.crash_points > 0 else None
+
+    # Pre-derive the candidate points from a throwaway baseline so the
+    # limit applies before the expensive per-point runs.
+    import pathlib
+
+    probe_dir = pathlib.Path(state_root) / "probe"
+    probe = scenario.factory(probe_dir)
+    run_steps(scenario, probe)
+    records, _ = scan_journal(probe_dir / JOURNAL_FILE)
+    points = default_crash_points(records, limit=limit)
+
+    report = crash_restart_matrix(scenario, state_root, points=points)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+        return 0 if report["converged"] else 1
+    print(f"crash-restart matrix: {report['scope']} scenario, "
+          f"{report['steps']} scripted commands, "
+          f"{report['journal_records']} journal records")
+    for p in report["points"]:
+        mode = ("torn-tail" if p["torn_tail"]
+                else "mid-snapshot" if p["mid_snapshot"] else "clean")
+        if not p["fired"]:
+            print(f"  [{p['index']:2d}] lsn {p['after_lsn']:4d} {mode}: "
+                  f"NEVER FIRED")
+            continue
+        rec = p["recovery"]
+        verdict = "converged" if p["digest_match"] and not p[
+            "invariant_violations"] else "DIVERGED"
+        print(f"  [{p['index']:2d}] lsn {p['after_lsn']:4d} {mode:12s} "
+              f"crash@step {p['crashed_in_step']:2d} -> snapshot "
+              f"{rec['snapshot_lsn']:4d} + {rec['replayed_records']:2d} "
+              f"replayed, resume@{p['resumed_at_step']:2d}: {verdict}")
+    print(f"  {report['points_matched']}/{report['points_fired']} crash "
+          f"points converged to the uncrashed digest")
+    if not report["converged"]:
+        print("  CRASH-RESTART EQUIVALENCE FAILED")
+        return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import pathlib
+
+    if args.crash_points is not None:
+        return _cmd_chaos_crash(args)
 
     import repro
     from repro.resilience import FaultInjector, FaultPlan, ResilienceConfig
@@ -907,6 +1055,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["top-down", "bottom-up", "optimal", "relaxation",
                                 "in-network", "plan-then-deploy"])
     serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durable mode: journal every command and cut "
+                            "periodic snapshots into DIR (opt-in; default "
+                            "is fully in-memory)")
     serve.set_defaults(func=_cmd_serve)
 
     fleet = sub.add_parser(
@@ -939,6 +1091,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=None)
     fleet.add_argument("--json", action="store_true",
                        help="emit the full fleet summary as JSON")
+    fleet.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="durable mode: journal fleet commands and cut "
+                            "periodic snapshots into DIR")
     fleet.set_defaults(func=_cmd_fleet)
 
     trace = sub.add_parser(
@@ -1012,7 +1167,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "overrides generation")
     chaos.add_argument("--emit-plan", action="store_true",
                        help="print the generated fault plan as JSON and exit")
+    chaos.add_argument("--crash-points", type=int, default=None, metavar="N",
+                       help="run the crash-restart equivalence matrix "
+                            "instead of the fault drill: crash at N seeded "
+                            "journal points (0 = every derived point), "
+                            "recover, and require digest convergence")
+    chaos.add_argument("--crash-scope", default="fleet",
+                       choices=["service", "fleet"],
+                       help="scripted scenario the crash matrix runs "
+                            "(default: the seeded 2-shard fleet)")
+    chaos.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="root directory for the matrix's per-point "
+                            "state dirs (default: a temp dir)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the crash matrix report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+
+    recover = sub.add_parser(
+        "recover",
+        help="inspect a durability state directory: journal health, "
+             "snapshots, and what a recovery would replay",
+    )
+    recover.add_argument("state_dir", help="durability state directory")
+    recover.add_argument("--inspect", action="store_true",
+                         help="read-only report (journal tail, snapshot "
+                              "validity, replay suffix, in-flight "
+                              "migrations); required -- recovery itself "
+                              "is a library call")
+    recover.add_argument("--json", action="store_true",
+                         help="emit the inspection report as JSON")
+    recover.set_defaults(func=_cmd_recover)
 
     adapt = sub.add_parser(
         "adapt",

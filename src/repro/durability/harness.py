@@ -1,0 +1,544 @@
+"""Crash-restart chaos harness: prove recovery converges, point by point.
+
+The harness runs a *scripted* scenario twice per crash point:
+
+1. **Baseline** -- the full script against a durable controller in a
+   fresh state directory, no crash points armed.  Its journal supplies
+   the candidate crash LSNs (command boundaries, deploy markers,
+   migration barrier phases, the snapshot write) and its
+   :func:`digest` is the ground truth.
+2. **Crashed** -- a fresh state directory, the same script, one armed
+   :class:`~repro.resilience.faults.CrashPoint`.  The run dies with
+   :class:`~repro.durability.journal.SimulatedCrash` mid-append (or
+   mid-snapshot), the harness rebuilds via
+   :func:`~repro.durability.recovery.recover` with the scenario's
+   deterministic factory, resumes the script at the first command the
+   repaired journal does *not* contain, and digests the result.
+
+Because every command is journaled *before* it executes, the resume
+index is simply the count of valid command records after repair: a
+durable command record means recovery replays that step (even when the
+crash interrupted it halfway through, e.g. between two migration
+barriers); a torn record means the step never happened and the resume
+re-runs it.  Either way each script step executes exactly once in the
+recovered world, so a correct recovery produces a digest identical to
+the baseline -- deployments, placements, costs, queues, tenants,
+federation, and the next ``extra_ticks`` tick reports.
+
+Scenarios are pure functions of their seeds; nothing here reads a wall
+clock.  ``repro chaos --crash-points N`` fronts
+:func:`crash_restart_matrix`.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.durability.journal import (
+    COMMAND_KINDS,
+    JOURNAL_FILE,
+    SimulatedCrash,
+    scan_journal,
+)
+from repro.durability.recovery import recover
+from repro.resilience.faults import CrashPoint
+
+DEFAULT_EXTRA_TICKS = 5
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """A deterministic controller factory plus a command script.
+
+    Attributes:
+        scope: ``"service"`` or ``"fleet"``.
+        factory: ``factory(state_dir)`` builds a pristine controller
+            with durability bound to ``state_dir``.  Calling it twice
+            with different directories yields behaviorally identical
+            controllers (same seeds, same workload).
+        steps: Script of command steps; each executes exactly one
+            journaled command against the controller.
+        queries: The workload catalog the script's submit steps index.
+    """
+
+    scope: str
+    factory: Callable[[str | Path], Any]
+    steps: list[dict[str, Any]] = field(default_factory=list)
+    queries: list[Any] = field(default_factory=list)
+
+
+def _service_env(state_dir: str | Path):
+    from repro.adaptive.loop import AdaptivityConfig
+    from repro.core import make_optimizer
+    from repro.durability import DurabilityConfig
+    from repro.hierarchy import build_hierarchy
+    from repro.network.topology import transit_stub_by_size
+    from repro.service import AdmissionController, StreamQueryService
+    from repro.workload import WorkloadParams, generate_workload
+
+    net = transit_stub_by_size(24, seed=7)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=8, num_queries=6, joins_per_query=(2, 3)),
+        seed=8,
+    )
+    rates = workload.rate_model()
+    hierarchy = build_hierarchy(net, max_cs=6, seed=0)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    durability = (
+        None
+        if state_dir is None  # catalog probe build; no journal
+        else DurabilityConfig(state_dir=state_dir, snapshot_interval=6)
+    )
+    service = StreamQueryService(
+        optimizer,
+        net,
+        rates,
+        hierarchy=hierarchy,
+        admission=AdmissionController(budget=8, max_per_tick=4),
+        # Aggressive knobs so the script's drift observations actually
+        # commit migrations -- the crash matrix needs journal records at
+        # every barrier phase.
+        adaptivity=AdaptivityConfig(
+            hysteresis_ticks=1,
+            publish_cooldown=1.0,
+            min_relative_gain=0.0,
+            query_cooldown=0.0,
+            horizon=200.0,
+            bytes_per_tuple=8.0,
+            max_migrations_per_tick=2,
+        ),
+        durability=durability,
+    )
+    return service, workload
+
+
+def service_scenario() -> Scenario:
+    """Single-service script: churn, drift-driven migrations, failover.
+
+    Covers every service command kind: submits, ticks, a retire, two
+    drift observations (which commit migrations a few ticks later), a
+    coordinator failure and its rejoin.
+    """
+    service, workload = _service_env(None)  # probe build for the catalog
+    queries = list(workload)
+    drift = {
+        s: service.rates.streams[s].rate * (6.0 if i % 2 == 0 else 0.1)
+        for i, s in enumerate(sorted(service.rates.streams))
+    }
+    failed = service.hierarchy.leaf_cluster(queries[0].sink).coordinator
+    steps: list[dict[str, Any]] = []
+    for i in range(len(queries)):
+        steps.append({"op": "submit", "query": i, "lifetime": None})
+    steps += [{"op": "tick"}] * 3
+    steps.append({"op": "observe", "samples": dict(drift)})
+    steps.append({"op": "tick"})
+    steps.append({"op": "observe", "samples": dict(drift)})
+    steps += [{"op": "tick"}] * 2
+    steps.append({"op": "retire", "name": queries[1].name})
+    steps.append({"op": "tick"})
+    steps.append({"op": "node_failure", "node": failed})
+    steps += [{"op": "tick"}] * 2
+    steps.append({"op": "rejoin", "node": failed})
+    steps += [{"op": "tick"}] * 3
+
+    def factory(state_dir):
+        built, _ = _service_env(state_dir)
+        return built
+
+    return Scenario("service", factory, steps, queries)
+
+
+def _fleet_env(state_dir: str | Path):
+    from repro.durability import DurabilityConfig
+    from repro.fleet.controller import FleetController
+    from repro.fleet.tenancy import Tenant
+    from repro.hierarchy import build_hierarchy
+    from repro.network.topology import transit_stub_by_size
+    from repro.workload import WorkloadParams, generate_workload
+
+    net = transit_stub_by_size(32, seed=7)
+    workload = generate_workload(
+        net,
+        WorkloadParams(num_streams=10, num_queries=8, joins_per_query=(2, 3)),
+        seed=9,
+    )
+    rates = workload.rate_model()
+    hierarchy = build_hierarchy(net, max_cs=6, seed=0)
+    fleet = FleetController(
+        2,
+        net,
+        rates,
+        hierarchy,
+        policy="hash",
+        budget=6,
+        max_per_tick=3,
+        tenants=[Tenant("acme", weight=2.0), Tenant("umbrella", weight=1.0)],
+        durability=(
+            None
+            if state_dir is None  # catalog probe build; no journal
+            else DurabilityConfig(state_dir=state_dir, snapshot_interval=6)
+        ),
+    )
+    return fleet, workload
+
+
+def fleet_scenario() -> Scenario:
+    """Two-shard fleet script: tenant churn, a retire, a rebalance."""
+    fleet, workload = _fleet_env(None)
+    queries = list(workload)
+    tenants = ["acme", "umbrella"]
+    steps: list[dict[str, Any]] = []
+    for i in range(len(queries)):
+        steps.append(
+            {
+                "op": "submit",
+                "query": i,
+                "lifetime": None,
+                "tenant": tenants[i % 2],
+            }
+        )
+    steps += [{"op": "tick"}] * 4
+    steps.append({"op": "retire", "name": queries[2].name})
+    steps += [{"op": "tick"}] * 2
+    # Move one live query to the other shard: the rebalance path emits
+    # the same migrate_* barrier ladder the in-service migrator does.
+    steps.append({"op": "rebalance", "query": 0, "target_shard": 1})
+    steps += [{"op": "tick"}] * 4
+
+    def factory(state_dir):
+        built, _ = _fleet_env(state_dir)
+        return built
+
+    return Scenario("fleet", factory, steps, queries)
+
+
+SCENARIOS: dict[str, Callable[[], Scenario]] = {
+    "service": service_scenario,
+    "fleet": fleet_scenario,
+}
+
+
+# ----------------------------------------------------------------------
+# Script execution
+# ----------------------------------------------------------------------
+def execute_step(scenario: Scenario, controller, step: dict[str, Any]) -> None:
+    """Run one script step (= one journaled command) on ``controller``."""
+    op = step["op"]
+    if op == "submit":
+        query = scenario.queries[step["query"]]
+        if scenario.scope == "fleet":
+            controller.submit(
+                query, lifetime=step["lifetime"], tenant=step.get("tenant")
+            )
+        else:
+            controller.submit(query, lifetime=step["lifetime"])
+    elif op == "tick":
+        controller.tick()
+    elif op == "retire":
+        controller.retire(step["name"])
+    elif op == "observe":
+        controller.observe_rates(step["samples"])
+    elif op == "node_failure":
+        controller.handle_node_failure(step["node"])
+    elif op == "rejoin":
+        controller.rejoin_node(step["node"])
+    elif op == "rebalance":
+        name = scenario.queries[step["query"]].name
+        target = step["target_shard"]
+        if controller.shard_of(name) == target:
+            target = (target + 1) % controller.num_shards
+        controller.rebalance(name, target)
+    else:
+        raise ValueError(f"unknown script op {op!r}")
+
+
+def run_steps(
+    scenario: Scenario, controller, start: int = 0
+) -> tuple[bool, int]:
+    """Execute the script from ``start``.
+
+    Returns:
+        ``(crashed, index)`` -- whether an armed crash point fired, and
+        the index of the step it fired in (``len(steps)`` on a clean
+        run).
+    """
+    for i in range(start, len(scenario.steps)):
+        try:
+            execute_step(scenario, controller, scenario.steps[i])
+        except SimulatedCrash:
+            return True, i
+    return False, len(scenario.steps)
+
+
+def resume_index(state_dir: str | Path) -> int:
+    """First script step the repaired journal does *not* contain.
+
+    Commands are journaled before they execute and each step issues
+    exactly one, so the count of valid command records is the index of
+    the first step the recovered controller still has to run.
+    """
+    records, _ = scan_journal(Path(state_dir) / JOURNAL_FILE)
+    return sum(1 for rec in records if rec["kind"] in COMMAND_KINDS)
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+def _tick_report_doc(report) -> dict[str, Any]:
+    return {
+        "time": report.time,
+        "deployed": [list(d) if not isinstance(d, str) else d for d in report.deployed],
+        "retired": [list(r) if not isinstance(r, str) else r for r in report.retired],
+        "parked": list(getattr(report, "parked", []) or []),
+        "migrated": list(getattr(report, "migrated", []) or []),
+        "drift_streams": list(getattr(report, "drift_streams", []) or []),
+    }
+
+
+def _service_digest(service) -> dict[str, Any]:
+    from repro.durability.state import placement_to_doc
+
+    deployments = []
+    for dep in sorted(service.engine.state.deployments, key=lambda d: d.query.name):
+        deployments.append(
+            {
+                "query": dep.query.name,
+                "placement": placement_to_doc(dep.plan, dep.placement),
+            }
+        )
+    return {
+        "clock": service.clock,
+        "live": sorted(service.live_queries),
+        "deployments": deployments,
+        "total_cost": round(service.total_cost(), 9),
+        "queued": service.admission.queued_names(),
+        "expiry": {k: v for k, v in sorted(service._expiry.items())},
+    }
+
+
+def _fleet_digest(fleet) -> dict[str, Any]:
+    import json
+
+    from repro.durability.state import sig_to_doc
+
+    shards = [_service_digest(shard) for shard in fleet.shards]
+    federation = None
+    if fleet.federation is not None:
+        federation = {
+            "epoch": fleet.federation.epoch,
+            "imports": {
+                str(sid): sorted(
+                    json.dumps([sig_to_doc(sig), node], sort_keys=True)
+                    for sig, node in fleet.federation.imports(sid)
+                )
+                for sid in range(fleet.num_shards)
+            },
+        }
+    return {
+        "clock": fleet.clock,
+        "live": sorted(fleet.live_queries),
+        "total_cost": round(fleet.total_cost(), 9),
+        "owners": {
+            name: fleet.shard_of(name) for name in sorted(fleet.live_queries)
+        },
+        "tenants": {
+            t: dict(sorted(summary.items()))
+            for t, summary in sorted(fleet.tenant_summary().items())
+        },
+        "shards": shards,
+        "federation": federation,
+    }
+
+
+def invariant_violations(scenario: Scenario, controller) -> list[str]:
+    """Hierarchy + fleet invariants, flattened to one list."""
+    violations: list[str] = []
+    if scenario.scope == "fleet":
+        violations += controller.check_invariants()
+        violations += controller.hierarchy.invariant_violations()
+    else:
+        if controller.hierarchy is not None:
+            violations += controller.hierarchy.invariant_violations()
+    return violations
+
+
+def digest(
+    scenario: Scenario, controller, extra_ticks: int = DEFAULT_EXTRA_TICKS
+) -> dict[str, Any]:
+    """Deterministic end-state fingerprint plus the next-N tick reports.
+
+    Mutates the controller (drives ``extra_ticks`` further ticks) -- a
+    recovered control plane must not only match the baseline's state
+    but keep making the same decisions going forward.
+    """
+    doc = (
+        _fleet_digest(controller)
+        if scenario.scope == "fleet"
+        else _service_digest(controller)
+    )
+    future = []
+    for _ in range(extra_ticks):
+        future.append(_tick_report_doc(controller.tick()))
+    doc["next_ticks"] = future
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Crash-point selection
+# ----------------------------------------------------------------------
+def default_crash_points(
+    records: list[dict[str, Any]], limit: int | None = None
+) -> list[CrashPoint]:
+    """Pick a covering set of crash points from a baseline journal.
+
+    One clean crash after the first record of every distinct kind the
+    journal contains (commands, deploy/retire markers, every migration
+    barrier phase seen, tick boundaries), a ``mid_snapshot`` point
+    aimed at each snapshot write, torn-tail variants of the first and
+    last records, and a clean crash at the very last record.
+    """
+    points: list[CrashPoint] = []
+    seen: set[tuple[int, bool, bool]] = set()
+
+    def add(after_lsn: int, time: float, torn: bool = False, mid: bool = False) -> None:
+        key = (after_lsn, torn, mid)
+        if after_lsn < 1 or key in seen:
+            return
+        seen.add(key)
+        points.append(
+            CrashPoint(
+                time=time, after_lsn=after_lsn, torn_tail=torn, mid_snapshot=mid
+            )
+        )
+
+    first_of_kind: dict[str, dict[str, Any]] = {}
+    for rec in records:
+        kind = rec["kind"]
+        if kind == "migrate_phase":
+            kind = f"migrate_phase:{rec['data']['phase']}"
+        if kind not in first_of_kind:
+            first_of_kind[kind] = rec
+    for kind, rec in sorted(first_of_kind.items(), key=lambda kv: kv[1]["lsn"]):
+        if kind == "snapshot":
+            # The snapshot marker follows the write; aim a mid-snapshot
+            # crash at the LSN the snapshot was cut at, so the torn file
+            # lands exactly where the original did.
+            add(rec["data"]["lsn"], rec["time"], mid=True)
+        else:
+            add(rec["lsn"], rec["time"])
+    if records:
+        add(records[0]["lsn"], records[0]["time"], torn=True)
+        last = records[-1]
+        add(last["lsn"], last["time"])
+        mid = records[len(records) // 2]
+        add(mid["lsn"], mid["time"], torn=True)
+    if limit is not None:
+        points = points[:limit]
+    return points
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+def crash_restart_matrix(
+    scenario: Scenario,
+    state_root: str | Path,
+    points: list[CrashPoint] | None = None,
+    extra_ticks: int = DEFAULT_EXTRA_TICKS,
+    keep_dirs: bool = False,
+) -> dict[str, Any]:
+    """Run the full crash/recover/resume equivalence matrix.
+
+    Args:
+        scenario: The scripted scenario (:func:`service_scenario` /
+            :func:`fleet_scenario`).
+        state_root: Directory for the per-run state directories.
+        points: Crash points to test; default: a covering set derived
+            from the baseline journal (:func:`default_crash_points`).
+        extra_ticks: Post-script ticks each digest must agree on.
+        keep_dirs: Keep per-point state directories for inspection.
+
+    Returns:
+        A JSON-ready report: the baseline summary, one entry per crash
+        point (fired / recovery stats / digest match / invariant
+        violations), and ``converged`` -- True iff every point fired,
+        matched the baseline digest and recovered with zero violations.
+    """
+    state_root = Path(state_root)
+    state_root.mkdir(parents=True, exist_ok=True)
+
+    baseline_dir = state_root / "baseline"
+    baseline = scenario.factory(baseline_dir)
+    crashed, _ = run_steps(scenario, baseline)
+    if crashed:  # pragma: no cover - baseline is never armed
+        raise RuntimeError("baseline run crashed; no crash points were armed")
+    records, _ = scan_journal(baseline_dir / JOURNAL_FILE)
+    baseline_digest = digest(scenario, baseline, extra_ticks=extra_ticks)
+    if points is None:
+        points = default_crash_points(records)
+
+    report: dict[str, Any] = {
+        "scope": scenario.scope,
+        "steps": len(scenario.steps),
+        "journal_records": len(records),
+        "extra_ticks": extra_ticks,
+        "points": [],
+        "converged": True,
+    }
+    for k, point in enumerate(points):
+        run_dir = state_root / f"point-{k:03d}"
+        entry: dict[str, Any] = {
+            "index": k,
+            "after_lsn": point.after_lsn,
+            "torn_tail": point.torn_tail,
+            "mid_snapshot": point.mid_snapshot,
+        }
+        controller = scenario.factory(run_dir)
+        controller.durability.arm([point])
+        fired, step_index = run_steps(scenario, controller)
+        entry["fired"] = fired
+        entry["crashed_in_step"] = step_index if fired else None
+        if not fired:
+            entry["error"] = "crash point never fired (after_lsn beyond journal end)"
+            report["converged"] = False
+            report["points"].append(entry)
+            continue
+
+        recovered, recovery = recover(run_dir, lambda: scenario.factory(run_dir))
+        entry["recovery"] = {
+            "snapshot_lsn": recovery.snapshot_lsn,
+            "replayed_records": recovery.replayed_records,
+            "replayed_ticks": recovery.replayed_ticks,
+            "dropped_lines": recovery.journal_drop["dropped_lines"],
+            "snapshots_rejected": len(recovery.snapshots_rejected),
+            "in_flight_migrations": recovery.in_flight_migrations,
+        }
+        start = resume_index(run_dir)
+        entry["resumed_at_step"] = start
+        crashed_again, _ = run_steps(scenario, recovered, start=start)
+        if crashed_again:  # pragma: no cover - recovery never arms points
+            raise RuntimeError("crash point fired again after recovery")
+        violations = invariant_violations(scenario, recovered)
+        entry["invariant_violations"] = violations
+        entry["digest_match"] = (
+            digest(scenario, recovered, extra_ticks=extra_ticks)
+            == baseline_digest
+        )
+        if not entry["digest_match"] or violations:
+            report["converged"] = False
+        report["points"].append(entry)
+        if not keep_dirs:
+            shutil.rmtree(run_dir, ignore_errors=True)
+
+    report["points_fired"] = sum(1 for p in report["points"] if p["fired"])
+    report["points_matched"] = sum(
+        1 for p in report["points"] if p.get("digest_match")
+    )
+    return report

@@ -1,0 +1,147 @@
+"""Snapshot files: full ``repro.state`` envelopes keyed by journal LSN.
+
+A snapshot captures the complete control-plane state *as of* journal
+record ``lsn`` -- recovery restores the newest valid snapshot and
+re-executes only the command records with larger LSNs.  Files are named
+``snapshot-<lsn, zero-padded>.json`` so a lexicographic directory sort
+is also an LSN sort, written atomically (temp file + rename) so a crash
+can never leave a half-written file under the final name -- except when
+a seeded ``mid_snapshot`` crash point deliberately does exactly that,
+which is how the torn-snapshot recovery path stays tested.
+
+The envelope carries a whole-document CRC-32; :func:`load_latest`
+validates candidates newest-first and falls back to older snapshots,
+reporting every file it had to skip.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.durability.journal import SimulatedCrash, canonical_json
+
+SNAPSHOT_KIND = "repro.state"
+SNAPSHOT_VERSION = 1
+SNAPSHOT_GLOB = "snapshot-*.json"
+
+
+def snapshot_path(state_dir: str | Path, lsn: int) -> Path:
+    """The canonical file path for the snapshot taken at ``lsn``."""
+    return Path(state_dir) / f"snapshot-{lsn:012d}.json"
+
+
+def snapshot_crc(doc: dict[str, Any]) -> int:
+    """CRC-32 over the canonical JSON of the envelope minus ``crc``."""
+    payload = {k: v for k, v in doc.items() if k != "crc"}
+    return zlib.crc32(canonical_json(payload).encode("utf-8"))
+
+
+def write_snapshot(
+    state_dir: str | Path,
+    lsn: int,
+    scope: str,
+    state: dict[str, Any],
+    time: float = 0.0,
+    retain: int = 2,
+    journal=None,
+) -> Path:
+    """Write one snapshot atomically; prune old ones down to ``retain``.
+
+    When ``journal`` is given and an armed ``mid_snapshot`` crash point
+    is due, the write is torn on purpose: a truncated envelope lands at
+    the *final* path (simulating a non-atomic writer dying mid-file)
+    and :class:`SimulatedCrash` is raised.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "kind": SNAPSHOT_KIND,
+        "version": SNAPSHOT_VERSION,
+        "lsn": lsn,
+        "scope": scope,
+        "time": time,
+        "state": state,
+    }
+    doc["crc"] = snapshot_crc(doc)
+    payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    path = snapshot_path(state_dir, lsn)
+    if journal is not None:
+        point = journal.pending_snapshot_crash()
+        if point is not None:
+            path.write_text(payload[: len(payload) // 2], encoding="utf-8")
+            raise SimulatedCrash(
+                f"crash point fired mid-snapshot at lsn={lsn}"
+            )
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    tmp.replace(path)
+    _prune(state_dir, retain)
+    return path
+
+
+def _prune(state_dir: Path, retain: int) -> None:
+    if retain < 1:
+        retain = 1
+    snapshots = sorted(state_dir.glob(SNAPSHOT_GLOB))
+    for stale in snapshots[:-retain]:
+        stale.unlink()
+
+
+def list_snapshots(state_dir: str | Path) -> list[dict[str, Any]]:
+    """Validity report for every snapshot file, oldest first.
+
+    Each entry has ``file``, ``valid`` and either ``lsn``/``scope`` (for
+    valid snapshots) or ``reason`` (for rejects).
+    """
+    out: list[dict[str, Any]] = []
+    for path in sorted(Path(state_dir).glob(SNAPSHOT_GLOB)):
+        doc, reason = _load_one(path)
+        if doc is None:
+            out.append({"file": path.name, "valid": False, "reason": reason})
+        else:
+            out.append(
+                {
+                    "file": path.name,
+                    "valid": True,
+                    "lsn": doc["lsn"],
+                    "scope": doc["scope"],
+                    "time": doc["time"],
+                }
+            )
+    return out
+
+
+def _load_one(path: Path) -> tuple[dict[str, Any] | None, str]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError:
+        return None, "not valid JSON (truncated write)"
+    if not isinstance(doc, dict) or doc.get("kind") != SNAPSHOT_KIND:
+        return None, f"not a {SNAPSHOT_KIND} envelope"
+    if doc.get("version") != SNAPSHOT_VERSION:
+        return None, f"unsupported snapshot version {doc.get('version')!r}"
+    if snapshot_crc(doc) != doc.get("crc"):
+        return None, "CRC mismatch"
+    return doc, ""
+
+
+def load_latest(
+    state_dir: str | Path,
+) -> tuple[dict[str, Any] | None, list[dict[str, Any]]]:
+    """Newest valid snapshot envelope plus the list of rejected files.
+
+    Candidates are tried newest-first; a truncated or corrupt file is
+    recorded in the second return value and the search falls back to
+    the next-older snapshot.  Returns ``(None, rejects)`` when no valid
+    snapshot exists (recovery then replays the journal from LSN 0).
+    """
+    rejected: list[dict[str, Any]] = []
+    for path in sorted(Path(state_dir).glob(SNAPSHOT_GLOB), reverse=True):
+        doc, reason = _load_one(path)
+        if doc is not None:
+            return doc, rejected
+        rejected.append({"file": path.name, "reason": reason})
+    return None, rejected

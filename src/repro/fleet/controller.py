@@ -171,6 +171,15 @@ class FleetController:
             shard registry into one time-series store and evaluating
             the alerting rules.  ``None`` (the default) adds no hooks
             and leaves fleet behavior byte-identical.
+        durability: Optional :class:`~repro.durability.DurabilityConfig`
+            (or prebuilt :class:`~repro.durability.Durability`) turning
+            on the durable control plane at the *fleet* boundary: every
+            fleet-level command (submit/tick/retire/rebalance) is
+            journaled before execution and fleet-wide snapshots land on
+            the configured cadence.  Shard sub-services stay undurable
+            on purpose (recovery replays through the same shard code
+            paths).  ``None`` (the default) keeps the fleet
+            byte-identical to a build without the subsystem.
     """
 
     def __init__(
@@ -190,9 +199,18 @@ class FleetController:
         federation: bool = True,
         service_kwargs: dict | None = None,
         telemetry=None,
+        durability=None,
     ) -> None:
         if num_shards < 1:
             raise ReproError("a fleet needs at least one shard")
+        if service_kwargs and "durability" in service_kwargs:
+            # The fleet journals at its own boundary and replays through
+            # the same shard code paths; per-shard journals would record
+            # every mutation twice and fight over the state directory.
+            raise ReproError(
+                "pass durability= to the FleetController itself, "
+                "not through service_kwargs"
+            )
         self.network = network
         self.rates = rates
         self.hierarchy = hierarchy
@@ -308,6 +326,14 @@ class FleetController:
         if self.telemetry is not None:
             self.telemetry.bind_fleet(self)
 
+        # Durability layer (opt-in, fleet-scope journal + snapshots).
+        from repro.durability import ensure_durability
+
+        self.durability = ensure_durability(durability)
+        self._in_command = False
+        if self.durability is not None:
+            self.durability.bind_fleet(self)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -398,17 +424,64 @@ class FleetController:
         first; when the shards are over budget the submission parks in
         the tenant's weighted-fair backlog instead of a shard queue.
         """
-        if time is not None:
-            self.clock = time
-        self.submitted_total += 1
-        self._submitted_counter.inc(time=self.clock)
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            from repro.serialization import _query_to_dict
 
-        if self.scheduler is None:
-            shard = self.router.route(query)
-            decision = self.shards[shard].submit(query, lifetime=lifetime, time=time)
-            self._book_decision(decision, shard, "")
-            return FleetDecision(decision=decision, shard=shard)
-        return self._submit_tenant(query, lifetime, tenant)
+            self._in_command = True
+            self.durability.command(
+                "cmd_submit",
+                float(time) if time is not None else self.clock,
+                {
+                    "query": _query_to_dict(query),
+                    "lifetime": lifetime,
+                    "time": time,
+                    "tenant": tenant,
+                },
+            )
+        try:
+            if time is not None:
+                self.clock = time
+            self.submitted_total += 1
+            self._submitted_counter.inc(time=self.clock)
+
+            if self.scheduler is None:
+                shard = self.router.route(query)
+                decision = self.shards[shard].submit(
+                    query, lifetime=lifetime, time=time
+                )
+                self._book_decision(decision, shard, "")
+                fleet_decision = FleetDecision(decision=decision, shard=shard)
+            else:
+                fleet_decision = self._submit_tenant(query, lifetime, tenant)
+            if self.durability is not None:
+                self.durability.marker(
+                    "admit",
+                    self.clock,
+                    {
+                        "query": query.name,
+                        "status": fleet_decision.status.value,
+                        "shard": fleet_decision.shard,
+                        "tenant": fleet_decision.tenant,
+                    },
+                )
+                if fleet_decision.tenant:
+                    self._mark_tenant_accounting(fleet_decision.tenant)
+            return fleet_decision
+        finally:
+            if journal:
+                self._in_command = False
+
+    def _mark_tenant_accounting(self, tenant: str) -> None:
+        self.durability.marker(
+            "tenant_accounting",
+            self.clock,
+            {
+                "tenant": tenant,
+                "in_flight": self._tenant_charge.get(tenant, 0),
+                "live": self._tenant_live.get(tenant, 0),
+            },
+        )
 
     def _submit_tenant(
         self, query: Query, lifetime: float | None, tenant: str | None
@@ -534,29 +607,69 @@ class FleetController:
         invalidated), then drains the tenant backlog into freed shard
         capacity under weighted fairness.
         """
+        journal = self.durability is not None and not self._in_command
         now = float(time) if time is not None else self.clock + 1.0
-        self.clock = now
-        reports = [shard.tick(now) for shard in self.shards]
-        report = FleetTickReport(time=now, shard_reports=reports)
-        for sid, shard_report in enumerate(reports):
-            for name in shard_report.retired:
-                self._forget(name)
-                report.retired.append((name, sid))
-            for name in shard_report.deployed:
-                self._after_deploy(sid, name)
-                if self.scheduler is not None:
-                    tenant = self._tenant_of.get(name)
-                    if tenant is not None:
-                        self._mark_live(tenant)
-                report.deployed.append((name, sid))
-        if self.federation is not None:
-            report.federation = self.federation.sync()
-        if self.scheduler is not None:
-            report.deployed.extend(self._drain_backlog())
-        self._record_gauges()
-        if self.telemetry is not None:
-            self.telemetry.on_fleet_tick(self, report)
-        return report
+        if journal:
+            self._in_command = True
+            self.durability.command("cmd_tick", now, {"time": now})
+        try:
+            self.clock = now
+            reports = [shard.tick(now) for shard in self.shards]
+            report = FleetTickReport(time=now, shard_reports=reports)
+            for sid, shard_report in enumerate(reports):
+                for name in shard_report.retired:
+                    self._forget(name)
+                    report.retired.append((name, sid))
+                for name in shard_report.deployed:
+                    self._after_deploy(sid, name)
+                    if self.scheduler is not None:
+                        tenant = self._tenant_of.get(name)
+                        if tenant is not None:
+                            self._mark_live(tenant)
+                    report.deployed.append((name, sid))
+            if self.federation is not None:
+                report.federation = self._sync_federation()
+            if self.scheduler is not None:
+                report.deployed.extend(self._drain_backlog())
+            self._record_gauges()
+            if self.telemetry is not None:
+                self.telemetry.on_fleet_tick(self, report)
+            if journal:
+                self.durability.marker(
+                    "tick_end",
+                    now,
+                    {
+                        "deployed": [list(d) for d in report.deployed],
+                        "retired": [list(r) for r in report.retired],
+                    },
+                )
+                self.durability.maybe_snapshot(now)
+            return report
+        finally:
+            if journal:
+                self._in_command = False
+
+    def _sync_federation(self) -> dict[str, int]:
+        """One federation sync, journaled as publish/withdraw markers."""
+        result = self.federation.sync()
+        if self.durability is not None:
+            if result["imported"]:
+                self.durability.marker(
+                    "federation_publish",
+                    self.clock,
+                    {"imported": result["imported"], "epoch": self.federation.epoch},
+                )
+            if result["withdrawn"] or result["promoted"]:
+                self.durability.marker(
+                    "federation_withdraw",
+                    self.clock,
+                    {
+                        "withdrawn": result["withdrawn"],
+                        "promoted": result["promoted"],
+                        "epoch": self.federation.epoch,
+                    },
+                )
+        return result
 
     def _drain_backlog(self) -> list[tuple[str, int]]:
         deployed: list[tuple[str, int]] = []
@@ -598,26 +711,40 @@ class FleetController:
         Raises:
             UnknownQueryError: Nothing in the fleet has that name.
         """
-        tenant = self._tenant_of.get(name)
-        if self.scheduler is not None and tenant is not None:
-            item = self.scheduler.withdraw(
-                tenant, lambda it: it.query.name == name
-            )
-            if item is not None:
-                self.router.release(name)
-                self._tenant_of.pop(name, None)
-                self._tenant_charge[tenant] -= 1
-                self._record_gauges()
-                return False
-        shard = self.router.owner(name)
-        if shard is None:
-            raise UnknownQueryError(f"query {name!r} is not in the fleet")
-        was_live = self.shards[shard].retire(name)
-        self._forget(name, live=was_live)
-        if self.federation is not None:
-            self.federation.sync()
-        self._record_gauges()
-        return was_live
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command("cmd_retire", self.clock, {"name": name})
+        try:
+            tenant = self._tenant_of.get(name)
+            if self.scheduler is not None and tenant is not None:
+                item = self.scheduler.withdraw(
+                    tenant, lambda it: it.query.name == name
+                )
+                if item is not None:
+                    self.router.release(name)
+                    self._tenant_of.pop(name, None)
+                    self._tenant_charge[tenant] -= 1
+                    self._record_gauges()
+                    if self.durability is not None:
+                        self._mark_tenant_accounting(tenant)
+                    return False
+            shard = self.router.owner(name)
+            if shard is None:
+                raise UnknownQueryError(f"query {name!r} is not in the fleet")
+            was_live = self.shards[shard].retire(name)
+            self._forget(name, live=was_live)
+            if self.federation is not None:
+                self._sync_federation()
+            self._record_gauges()
+            if self.durability is not None:
+                self.durability.marker("retire", self.clock, {"query": name})
+                if tenant is not None:
+                    self._mark_tenant_accounting(tenant)
+            return was_live
+        finally:
+            if journal:
+                self._in_command = False
 
     def _forget(self, name: str, live: bool = True) -> None:
         self.router.release(name)
@@ -643,6 +770,21 @@ class FleetController:
         (:func:`diff_deployments` + :meth:`Migrator.simulate_cutover`).
         A move that cannot be admitted rolls back onto the source shard.
         """
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command(
+                "cmd_rebalance",
+                self.clock,
+                {"name": name, "target_shard": target_shard},
+            )
+        try:
+            return self._rebalance(name, target_shard)
+        finally:
+            if journal:
+                self._in_command = False
+
+    def _rebalance(self, name: str, target_shard: int) -> RebalanceReport:
         if not 0 <= target_shard < self.num_shards:
             raise ReproError(f"no shard {target_shard} in a {self.num_shards}-shard fleet")
         source_shard = self.router.owner(name)
@@ -677,14 +819,30 @@ class FleetController:
         remaining = None if expiry is None else max(1.0, expiry - self.clock)
         cost_before = self.total_cost()
 
+        if self.durability is not None:
+            self.durability.marker(
+                "migrate_begin",
+                self.clock,
+                {
+                    "query": name,
+                    "source_shard": source_shard,
+                    "target_shard": target_shard,
+                },
+            )
         source.retire(name)
         if self.federation is not None:
-            self.federation.sync()
+            self._sync_federation()
         decision = target.submit(old.query, lifetime=remaining)
         if not decision.admitted:
             source.submit(old.query, lifetime=remaining)
             if self.federation is not None:
-                self.federation.sync()
+                self._sync_federation()
+            if self.durability is not None:
+                self.durability.marker(
+                    "migrate_abort",
+                    self.clock,
+                    {"query": name, "reason": "target admission refused"},
+                )
             return RebalanceReport(
                 query=name,
                 source_shard=source_shard,
@@ -704,11 +862,29 @@ class FleetController:
         timeline = Migrator(self.network).simulate_cutover(
             diff, coordinator=self.hierarchy.root.coordinator, start_time=self.clock
         )
+        if self.durability is not None:
+            for phase, stamp in (
+                ("pause", timeline.pause_done),
+                ("transfer", timeline.transfer_done),
+                ("resume", timeline.completed),
+            ):
+                if stamp is not None:
+                    self.durability.marker(
+                        "migrate_phase",
+                        self.clock,
+                        {"query": name, "phase": phase},
+                    )
         if self.federation is not None:
-            self.federation.sync()
+            self._sync_federation()
         self.rebalances_total += 1
         self._rebalance_counter.inc(time=self.clock)
         self._record_gauges()
+        if self.durability is not None:
+            self.durability.marker(
+                "migrate_commit",
+                self.clock,
+                {"query": name, "target_shard": target_shard},
+            )
         return RebalanceReport(
             query=name,
             source_shard=source_shard,

@@ -40,6 +40,12 @@ class FlightRecorder:
         self.bundles: deque[dict[str, Any]] = deque(maxlen=max_bundles)
         self.recorded_total = 0
         self.bundles_total = 0
+        #: When set (the durability layer points it at
+        #: ``<state_dir>/flight``), every bundle is also written to disk
+        #: as it is cut, so incident history survives a crash and
+        #: ``repro dash --from <state_dir>`` can read it post-restart.
+        self.persist_dir: Any = None
+        self.persisted_total = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -131,7 +137,23 @@ class FlightRecorder:
         }
         self.bundles.append(doc)
         self.bundles_total += 1
+        if self.persist_dir is not None:
+            self._persist(doc)
         return doc
+
+    def _persist(self, doc: dict[str, Any]) -> None:
+        import json
+        from pathlib import Path
+
+        directory = Path(self.persist_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Sequence-numbered names keep multiple bundles at the same
+        # virtual time distinct and sort in cut order.
+        path = directory / f"bundle-{self.bundles_total:06d}.json"
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        self.persisted_total += 1
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready recorder state for the telemetry envelope."""
@@ -141,3 +163,28 @@ class FlightRecorder:
             "bundles_total": self.bundles_total,
             "bundles": [dict(b) for b in self.bundles],
         }
+
+
+def load_bundles(directory) -> list[dict[str, Any]]:
+    """Read persisted flight bundles from disk, oldest first.
+
+    Accepts the bundle directory itself or a durability state directory
+    (its ``flight/`` subdirectory is used).  Files that fail to parse or
+    are not ``repro.flight_bundle`` envelopes are skipped -- a crash can
+    tear the newest bundle mid-write.
+    """
+    import json
+    from pathlib import Path
+
+    directory = Path(directory)
+    if (directory / "flight").is_dir():
+        directory = directory / "flight"
+    out: list[dict[str, Any]] = []
+    for path in sorted(directory.glob("bundle-*.json")):
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            continue
+        if isinstance(doc, dict) and doc.get("kind") == BUNDLE_KIND:
+            out.append(doc)
+    return out

@@ -23,6 +23,10 @@ Cases (the ``quick`` subset is what CI runs):
   cache probes and ticks, samples per-tick wall clock.
 * ``fleet_churn`` -- the sharded fleet control plane under the same
   kind of churn across 3 shards with federation syncs on every tick.
+* ``telemetry_overhead`` / ``durability_overhead`` -- ``service_churn``
+  re-run with the telemetry pipeline (resp. the write-ahead journal)
+  armed; planner op counts must not move, wall samples price the
+  added machinery.
 """
 
 from __future__ import annotations
@@ -207,6 +211,59 @@ def _case_telemetry_overhead() -> OpProfiler:
     return prof
 
 
+def _case_durability_overhead() -> OpProfiler:
+    """Service churn with the write-ahead journal armed.
+
+    Durability only *records* what the control plane decides, so its
+    planner op counts (plans, probes, ticks) must match
+    ``service_churn`` exactly -- the case exists so the 25% gate
+    catches the journal ever leaking work into the planner path, and
+    its wall samples price the append/snapshot loop.
+    """
+    import tempfile
+
+    from repro.core import make_optimizer
+    from repro.durability import DurabilityConfig
+    from repro.service import AdmissionController, StreamQueryService
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-wal-") as tmp:
+        service = StreamQueryService(
+            optimizer,
+            net,
+            rates,
+            hierarchy=hierarchy,
+            admission=AdmissionController(budget=4, max_per_tick=2),
+            durability=DurabilityConfig(state_dir=tmp, snapshot_interval=10),
+        )
+        with profiled() as prof:
+            for i, query in enumerate(workload):
+                service.submit(query, lifetime=4.0 + (i % 3))
+            for _ in range(30):
+                with prof.sample("durable_tick"):
+                    service.tick()
+            from repro.query.query import Query
+
+            for query in list(workload)[:4]:
+                renamed = Query(
+                    query.name + "_again",
+                    sources=query.sources,
+                    sink=query.sink,
+                    predicates=query.predicates,
+                    filters=query.filters,
+                    window=query.window,
+                )
+                service.submit(renamed, lifetime=2.0)
+            for _ in range(10):
+                service.tick()
+            prof.count(
+                "journal_records", service.durability.journal.records_total
+            )
+            prof.count("snapshots", service.durability.snapshots_total)
+    return prof
+
+
 CASES: dict[str, Callable[[], OpProfiler]] = {
     "plan_top_down": _case_plan_hierarchical("top-down"),
     "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
@@ -215,6 +272,7 @@ CASES: dict[str, Callable[[], OpProfiler]] = {
     "service_churn": _case_service_churn,
     "fleet_churn": _case_fleet_churn,
     "telemetry_overhead": _case_telemetry_overhead,
+    "durability_overhead": _case_durability_overhead,
 }
 
 #: The subset CI runs on every push (all of them -- the suite is sized

@@ -103,6 +103,29 @@ class Partition:
     groups: tuple[tuple[int, ...], ...]
 
 
+@dataclass(frozen=True)
+class CrashPoint:
+    """The controller process dies at an exact journal boundary.
+
+    Interpreted by the durability layer, not the injector: arming a
+    plan's crash points on a journal
+    (:meth:`repro.durability.Durability.arm`) makes the first append
+    that reaches ``after_lsn`` raise
+    :class:`~repro.durability.journal.SimulatedCrash`.  ``torn_tail``
+    kills the process *mid-write* (half a line, no newline -- the
+    record is lost and recovery must repair the tail);  otherwise the
+    record is fully durable before death.  ``mid_snapshot`` instead
+    fires inside the next snapshot write at/after ``after_lsn``,
+    leaving a truncated snapshot file under the final name.  ``time``
+    only orders the event within the plan; firing is LSN-driven.
+    """
+
+    time: float
+    after_lsn: int
+    torn_tail: bool = False
+    mid_snapshot: bool = False
+
+
 FaultEvent = Union[
     NodeCrash,
     CoordinatorOutage,
@@ -110,6 +133,7 @@ FaultEvent = Union[
     MessageStorm,
     StaleStatistics,
     Partition,
+    CrashPoint,
 ]
 
 _EVENT_KINDS = {
@@ -119,6 +143,7 @@ _EVENT_KINDS = {
     "message_storm": MessageStorm,
     "stale_statistics": StaleStatistics,
     "partition": Partition,
+    "crash_point": CrashPoint,
 }
 
 
@@ -141,6 +166,13 @@ def _validate_event(event: FaultEvent) -> None:
                 raise FaultInjectionError(f"{name} must be a probability: {event!r}")
         if event.delay < 0 or event.delay_spread < 0:
             raise FaultInjectionError(f"delays must be non-negative: {event!r}")
+    elif isinstance(event, CrashPoint):
+        if event.after_lsn < 1:
+            raise FaultInjectionError(f"after_lsn must be >= 1: {event!r}")
+        if event.torn_tail and event.mid_snapshot:
+            raise FaultInjectionError(
+                f"torn_tail and mid_snapshot are exclusive: {event!r}"
+            )
     elif isinstance(event, Partition):
         seen: set[int] = set()
         for group in event.groups:

@@ -329,6 +329,68 @@ def telemetry_from_json(text: str) -> dict[str, Any]:
     return envelope_from_json(json.loads(text))
 
 
+def tick_report_to_json(report) -> str:
+    """Serialize a :class:`repro.service.service.TickReport`."""
+    doc = {
+        "kind": "repro.tick_report",
+        "version": FORMAT_VERSION,
+        "time": report.time,
+        "deployed": list(report.deployed),
+        "retired": list(report.retired),
+        "parked": list(report.parked),
+        "migrated": list(report.migrated),
+        "drift_streams": list(report.drift_streams),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def tick_report_from_json(text: str):
+    """Rebuild a tick report serialized by :func:`tick_report_to_json`."""
+    from repro.service.service import TickReport
+
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.tick_report":
+        raise ValueError(f"not a serialized tick report: kind={doc.get('kind')!r}")
+    return TickReport(
+        time=doc["time"],
+        deployed=list(doc.get("deployed", [])),
+        retired=list(doc.get("retired", [])),
+        parked=list(doc.get("parked", [])),
+        migrated=list(doc.get("migrated", [])),
+        drift_streams=list(doc.get("drift_streams", [])),
+    )
+
+
+def admission_decision_to_json(decision) -> str:
+    """Serialize a :class:`repro.service.admission.AdmissionDecision`."""
+    doc = {
+        "kind": "repro.admission_decision",
+        "version": FORMAT_VERSION,
+        "query": decision.query,
+        "status": decision.status.value,
+        "reason": decision.reason,
+        "queue_position": decision.queue_position,
+    }
+    return json.dumps(doc, indent=2)
+
+
+def admission_decision_from_json(text: str):
+    """Rebuild a decision serialized by :func:`admission_decision_to_json`."""
+    from repro.service.admission import AdmissionDecision, AdmissionStatus
+
+    doc = json.loads(text)
+    if doc.get("kind") != "repro.admission_decision":
+        raise ValueError(
+            f"not a serialized admission decision: kind={doc.get('kind')!r}"
+        )
+    return AdmissionDecision(
+        query=doc["query"],
+        status=AdmissionStatus(doc["status"]),
+        reason=doc.get("reason", ""),
+        queue_position=doc.get("queue_position"),
+    )
+
+
 def failure_report_to_json(report) -> str:
     """Serialize a :class:`repro.runtime.failover.FailureReport`."""
     doc = {

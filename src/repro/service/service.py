@@ -179,6 +179,16 @@ class StreamQueryService:
             hook exists and behavior is byte-identical to before the
             subsystem existed (same contract as ``resilience`` /
             ``adaptivity``).
+        durability: Optional :class:`~repro.durability.DurabilityConfig`
+            (or prebuilt :class:`~repro.durability.Durability`) turning
+            on the durable control plane: every externally driven
+            mutation is journaled to a write-ahead log before it
+            executes, state snapshots land every ``snapshot_interval``
+            ticks, and :func:`repro.durability.recover` can rebuild the
+            service after a crash.  With ``None`` (the default) no
+            journal, state directory or instruments exist and behavior
+            is byte-identical to a build without the subsystem (same
+            contract as the other optional layers).
     """
 
     def __init__(
@@ -198,6 +208,7 @@ class StreamQueryService:
         adaptivity: AdaptivityConfig | AdaptivityLoop | None = None,
         causal=None,
         telemetry=None,
+        durability=None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
@@ -301,6 +312,17 @@ class StreamQueryService:
         if self.telemetry is not None:
             self.telemetry.bind_service(self)
 
+        # Durability layer, same contract: journal, snapshots and the
+        # durability_* instruments exist only when asked for.
+        from repro.durability import ensure_durability
+
+        self.durability = ensure_durability(durability)
+        self._in_command = False
+        if self.durability is not None:
+            self.durability.bind_service(self)
+            if self.adaptivity is not None and self.adaptivity.migrator is not None:
+                self.adaptivity.migrator.durability = self.durability
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -393,35 +415,69 @@ class StreamQueryService:
         Returns:
             The typed admission decision.
         """
-        if time is not None:
-            self.engine.clock = time
-        with self.tracer.span("submit", query=query.name) as span:
-            self._refresh_epochs()
-            self.submitted_total += 1
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            from repro.serialization import _query_to_dict
 
-            decision = self._validate(query, lifetime)
-            if decision is None:
-                decision = self.admission.request(
-                    query, len(self._live_names()), time=self.clock
-                )
-                if decision.status is AdmissionStatus.ADMITTED:
-                    if self.resilience is not None:
-                        try:
+            self._in_command = True
+            self.durability.command(
+                "cmd_submit",
+                float(time) if time is not None else self.clock,
+                {
+                    "query": _query_to_dict(query),
+                    "lifetime": lifetime,
+                    "time": time,
+                },
+            )
+        try:
+            if time is not None:
+                self.engine.clock = time
+            with self.tracer.span("submit", query=query.name) as span:
+                self._refresh_epochs()
+                self.submitted_total += 1
+
+                decision = self._validate(query, lifetime)
+                if decision is None:
+                    decision = self.admission.request(
+                        query, len(self._live_names()), time=self.clock
+                    )
+                    if decision.status is AdmissionStatus.ADMITTED:
+                        if self.resilience is not None:
+                            try:
+                                self._deploy(query, lifetime)
+                            except PlanningError as exc:
+                                self.resilience.park(self, query, lifetime, str(exc))
+                                if self.durability is not None:
+                                    self.durability.marker(
+                                        "park",
+                                        self.clock,
+                                        {"query": query.name, "reason": str(exc)},
+                                    )
+                                decision = AdmissionDecision(
+                                    query=query.name,
+                                    status=AdmissionStatus.QUEUED,
+                                    reason=f"parked: {exc}",
+                                )
+                                span.incr("parked")
+                        else:
                             self._deploy(query, lifetime)
-                        except PlanningError as exc:
-                            self.resilience.park(self, query, lifetime, str(exc))
-                            decision = AdmissionDecision(
-                                query=query.name,
-                                status=AdmissionStatus.QUEUED,
-                                reason=f"parked: {exc}",
-                            )
-                            span.incr("parked")
-                    else:
-                        self._deploy(query, lifetime)
-                elif decision.status is AdmissionStatus.QUEUED:
-                    self._pending_lifetimes[query.name] = lifetime
-            span.tag(decision=decision.status.value)
-            self._record_gauges()
+                    elif decision.status is AdmissionStatus.QUEUED:
+                        self._pending_lifetimes[query.name] = lifetime
+                span.tag(decision=decision.status.value)
+                self._record_gauges()
+            if self.durability is not None:
+                self.durability.marker(
+                    "admit",
+                    self.clock,
+                    {
+                        "query": query.name,
+                        "status": decision.status.value,
+                        "reason": decision.reason,
+                    },
+                )
+        finally:
+            if journal:
+                self._in_command = False
         return decision
 
     def _validate(self, query: Query, lifetime: float | None) -> AdmissionDecision | None:
@@ -457,12 +513,34 @@ class StreamQueryService:
         submission queue into freed capacity (FIFO, bounded by the
         controller's per-tick limit), then records the service gauges.
         """
-        prof = _perf.active()
-        if prof is None:
-            return self._tick(time)
-        prof.count("service_ticks")
-        with prof.sample("service_tick"):
-            return self._tick(time)
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            now = float(time) if time is not None else self.engine.clock + 1.0
+            self._in_command = True
+            self.durability.command("cmd_tick", now, {"time": now})
+        try:
+            prof = _perf.active()
+            if prof is None:
+                report = self._tick(time)
+            else:
+                prof.count("service_ticks")
+                with prof.sample("service_tick"):
+                    report = self._tick(time)
+            if journal:
+                self.durability.marker(
+                    "tick_end",
+                    report.time,
+                    {
+                        "deployed": list(report.deployed),
+                        "retired": list(report.retired),
+                        "migrated": list(report.migrated),
+                    },
+                )
+                self.durability.maybe_snapshot(report.time)
+        finally:
+            if journal:
+                self._in_command = False
+        return report
 
     def _tick(self, time: float | None = None) -> TickReport:
         now = float(time) if time is not None else self.engine.clock + 1.0
@@ -484,6 +562,12 @@ class StreamQueryService:
                     self._deploy(query, lifetime)
                 except PlanningError as exc:
                     self.resilience.park(self, query, lifetime, str(exc))
+                    if self.durability is not None:
+                        self.durability.marker(
+                            "park",
+                            now,
+                            {"query": query.name, "reason": str(exc)},
+                        )
                     report.parked.append(query.name)
                     continue
             else:
@@ -512,18 +596,28 @@ class StreamQueryService:
             UnknownQueryError: The name is neither deployed, queued nor
                 parked (also catchable as ``KeyError``).
         """
-        if self.admission.withdraw(name, time=self.clock):
-            self._pending_lifetimes.pop(name, None)
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command("cmd_retire", self.clock, {"name": name})
+        try:
+            if self.admission.withdraw(name, time=self.clock):
+                self._pending_lifetimes.pop(name, None)
+                self._record_gauges()
+                return False
+            if self.resilience is not None and self.resilience.unpark(name):
+                self._record_gauges()
+                return False
+            if not self.is_live(name):
+                raise UnknownQueryError(
+                    f"query {name!r} is neither deployed nor queued"
+                )
+            self._retire_live(name)
             self._record_gauges()
-            return False
-        if self.resilience is not None and self.resilience.unpark(name):
-            self._record_gauges()
-            return False
-        if not self.is_live(name):
-            raise UnknownQueryError(f"query {name!r} is neither deployed nor queued")
-        self._retire_live(name)
-        self._record_gauges()
-        return True
+            return True
+        finally:
+            if journal:
+                self._in_command = False
 
     def handle_node_failure(self, node: int) -> ServiceFailureReport:
         """Route a node failure through retire/re-admit.
@@ -542,6 +636,17 @@ class StreamQueryService:
             raise HierarchyError("handle_node_failure requires a hierarchy")
         from repro.runtime.failover import fail_node
 
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command("cmd_node_failure", self.clock, {"node": node})
+        try:
+            return self._handle_node_failure(node, fail_node)
+        finally:
+            if journal:
+                self._in_command = False
+
+    def _handle_node_failure(self, node: int, fail_node) -> ServiceFailureReport:
         with self.tracer.span("node_failure", node=node) as span:
             failure = fail_node(self.hierarchy, node, engine=self.engine)
             report = ServiceFailureReport(node=node)
@@ -599,18 +704,50 @@ class StreamQueryService:
         """
         if self.hierarchy is None:
             raise HierarchyError("rejoin_node requires a hierarchy")
-        if not self.network.has_node(node):
-            return False
-        from repro.hierarchy.maintenance import add_node
-
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command("cmd_rejoin", self.clock, {"node": node})
         try:
-            # Seeded by the node id: any split the insertion triggers is
-            # reproducible across same-plan chaos runs.
-            add_node(self.hierarchy, node, seed=node)
-        except ValueError:
-            return False  # already a member
-        self.bump_topology_epoch()
-        return True
+            if not self.network.has_node(node):
+                return False
+            from repro.hierarchy.maintenance import add_node
+
+            try:
+                # Seeded by the node id: any split the insertion triggers
+                # is reproducible across same-plan chaos runs.
+                add_node(self.hierarchy, node, seed=node)
+            except ValueError:
+                return False  # already a member
+            self.bump_topology_epoch()
+            return True
+        finally:
+            if journal:
+                self._in_command = False
+
+    def observe_rates(self, samples, time: float | None = None) -> None:
+        """Feed dataplane rate samples to the adaptivity monitor.
+
+        A journaled command (external input changes future planning
+        decisions, so recovery must replay it).  A no-op without the
+        adaptivity layer.
+        """
+        journal = self.durability is not None and not self._in_command
+        if journal:
+            self._in_command = True
+            self.durability.command(
+                "cmd_observe",
+                float(time) if time is not None else self.clock,
+                {"samples": dict(samples), "time": time},
+            )
+        try:
+            if time is not None:
+                self.engine.clock = float(time)
+            if self.adaptivity is not None:
+                self.adaptivity.observe_rates(samples)
+        finally:
+            if journal:
+                self._in_command = False
 
     # ------------------------------------------------------------------
     # Planning
@@ -781,6 +918,12 @@ class StreamQueryService:
         if lifetime is not None:
             self._expiry[query.name] = self.clock + lifetime
         self.deployed_total += 1
+        if self.durability is not None:
+            self.durability.marker(
+                "deploy",
+                self.clock,
+                {"query": query.name, "lifetime": lifetime},
+            )
 
     def _retire_live(self, name: str) -> None:
         self.engine.undeploy(name, time=self.clock)
@@ -788,6 +931,8 @@ class StreamQueryService:
             self.ads.sync_from_state(self.engine.state)
         self._expiry.pop(name, None)
         self.retired_total += 1
+        if self.durability is not None:
+            self.durability.marker("retire", self.clock, {"query": name})
 
     def _record_gauges(self) -> None:
         now = self.clock

@@ -1,0 +1,115 @@
+"""Flight bundles persist under the state dir and survive a restart."""
+
+import json
+
+import repro
+from repro.durability import DurabilityConfig
+from repro.obs.flight import FlightRecorder, load_bundles
+from repro.obs.telemetry import Telemetry, TelemetryConfig
+from repro.service import AdmissionController, StreamQueryService
+
+
+def _durable_service_with_telemetry(state_dir, seed=13):
+    net = repro.transit_stub_by_size(24, seed=seed)
+    hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+    workload = repro.generate_workload(
+        net,
+        repro.WorkloadParams(num_streams=6, num_queries=4, joins_per_query=(1, 3)),
+        seed=seed + 1,
+    )
+    rates = workload.rate_model()
+    optimizer = repro.TopDownOptimizer(hierarchy, rates)
+    telemetry = Telemetry(TelemetryConfig())
+    service = StreamQueryService(
+        optimizer, net, rates, hierarchy=hierarchy,
+        admission=AdmissionController(budget=6),
+        telemetry=telemetry,
+        durability=DurabilityConfig(state_dir=state_dir),
+    )
+    return service, workload, telemetry
+
+
+class TestRecorderPersistence:
+    def test_bundles_land_under_state_dir_flight(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service, workload, telemetry = _durable_service_with_telemetry(state_dir)
+        assert telemetry.recorder.persist_dir == state_dir / "flight"
+        for query in workload:
+            service.submit(query, lifetime=3.0)
+        for _ in range(3):
+            service.tick()
+        telemetry.recorder.bundle("drill", service.clock, scope="service")
+        files = sorted((state_dir / "flight").glob("bundle-*.json"))
+        assert files
+        assert telemetry.recorder.persisted_total == len(files)
+
+    def test_load_bundles_reads_them_back_after_restart(self, tmp_path):
+        state_dir = tmp_path / "state"
+        service, workload, telemetry = _durable_service_with_telemetry(state_dir)
+        for query in workload:
+            service.submit(query, lifetime=3.0)
+        service.tick()
+        doc = telemetry.recorder.bundle("drill", service.clock, scope="service")
+        # "Restart": a fresh process only has the directory.
+        loaded = load_bundles(state_dir)
+        assert [b["reason"] for b in loaded][-1] == "drill"
+        assert loaded[-1]["entries"] == doc["entries"]
+        # The bundle dir itself also works.
+        assert load_bundles(state_dir / "flight") == loaded
+
+    def test_load_bundles_skips_torn_writes(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.persist_dir = tmp_path
+        recorder.record("tick", 1.0, "service")
+        recorder.bundle("first", 1.0)
+        recorder.bundle("second", 2.0)
+        files = sorted(tmp_path.glob("bundle-*.json"))
+        raw = files[-1].read_text()
+        files[-1].write_text(raw[: len(raw) // 2])  # torn mid-write
+        loaded = load_bundles(tmp_path)
+        assert [b["reason"] for b in loaded] == ["first"]
+
+    def test_no_persistence_without_durability(self):
+        recorder = FlightRecorder()
+        recorder.record("tick", 1.0, "service")
+        recorder.bundle("drill", 1.0)
+        assert recorder.persist_dir is None
+        assert recorder.persisted_total == 0
+
+    def test_recorder_snapshot_still_reports(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.persist_dir = tmp_path
+        recorder.record("tick", 1.0, "service")
+        recorder.bundle("drill", 1.0)
+        snap = recorder.snapshot()
+        assert snap["bundles_total"] == 1
+        json.dumps(snap)
+
+
+class TestDashFromStateDir:
+    def test_dash_reads_persisted_bundles(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state_dir = tmp_path / "state"
+        service, workload, telemetry = _durable_service_with_telemetry(state_dir)
+        for query in workload:
+            service.submit(query, lifetime=3.0)
+        service.tick()
+        telemetry.recorder.bundle("post_crash_drill", service.clock)
+        rc = main(["dash", "--from", str(state_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "persisted flight bundles" in out
+        assert "post_crash_drill" in out
+
+    def test_dash_json_emits_the_bundle_list(self, tmp_path, capsys):
+        from repro.cli import main
+
+        state_dir = tmp_path / "state"
+        service, workload, telemetry = _durable_service_with_telemetry(state_dir)
+        service.submit(workload.queries[0], lifetime=3.0)
+        telemetry.recorder.bundle("drill", 1.0)
+        rc = main(["dash", "--from", str(state_dir), "--json"])
+        assert rc == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["reason"] for d in docs if d["reason"] == "drill"]

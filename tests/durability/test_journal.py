@@ -1,0 +1,162 @@
+"""Write-ahead journal: CRC, LSN discipline, torn tails, crash points."""
+
+import json
+
+import pytest
+
+from repro.durability.journal import (
+    COMMAND_KINDS,
+    JOURNAL_FILE,
+    MARKER_KINDS,
+    Journal,
+    SimulatedCrash,
+    canonical_json,
+    record_crc,
+    repair_journal,
+    scan_journal,
+)
+from repro.resilience.faults import CrashPoint
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    return Journal(tmp_path / JOURNAL_FILE)
+
+
+class TestAppendScan:
+    def test_lsns_are_monotonic_from_one(self, journal):
+        for i in range(5):
+            assert journal.append("cmd_tick", float(i), {"time": float(i)}) == i + 1
+        records, report = scan_journal(journal.path)
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4, 5]
+        assert report["dropped_lines"] == 0
+        assert report["reason"] == ""
+
+    def test_crc_covers_the_whole_record(self, journal):
+        journal.append("admit", 1.0, {"query": "q0", "status": "admitted"})
+        journal.close()
+        (rec,), _ = scan_journal(journal.path)
+        assert rec["crc"] == record_crc(
+            rec["lsn"], rec["kind"], rec["time"], rec["data"]
+        )
+
+    def test_kind_must_be_known(self, journal):
+        with pytest.raises(ValueError):
+            journal.append("cmd_mystery", 0.0, {})
+
+    def test_command_and_marker_kinds_are_disjoint(self):
+        assert not COMMAND_KINDS & MARKER_KINDS
+
+    def test_canonical_json_is_key_ordered(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestTornAndCorrupt:
+    def _write_three(self, journal):
+        for i in range(3):
+            journal.append("cmd_tick", float(i), {"time": float(i)})
+        journal.close()
+
+    def test_torn_tail_is_dropped(self, journal):
+        self._write_three(journal)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 10])
+        records, report = scan_journal(journal.path)
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert report["dropped_lines"] == 1
+        assert "JSON" in report["reason"] or "truncated" in report["reason"]
+
+    def test_flipped_byte_fails_crc(self, journal):
+        self._write_three(journal)
+        lines = journal.path.read_text().splitlines()
+        doc = json.loads(lines[2])
+        doc["data"]["time"] = 99.0  # mutate payload, keep stale CRC
+        lines[2] = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        journal.path.write_text("\n".join(lines) + "\n")
+        records, report = scan_journal(journal.path)
+        assert len(records) == 2
+        assert "CRC" in report["reason"]
+
+    def test_corrupt_middle_line_truncates_the_suffix(self, journal):
+        self._write_three(journal)
+        lines = journal.path.read_text().splitlines()
+        lines[1] = "not json at all"
+        journal.path.write_text("\n".join(lines) + "\n")
+        records, report = scan_journal(journal.path)
+        # Prefix-greedy: record 3 is intact but unreachable past the tear.
+        assert [r["lsn"] for r in records] == [1]
+        assert report["dropped_lines"] == 2
+
+    def test_repair_quarantines_and_truncates(self, journal):
+        self._write_three(journal)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 7])
+        records, report = repair_journal(journal.path)
+        assert len(records) == 2
+        assert report["quarantined_to"]
+        quarantine = journal.path.parent / report["quarantined_to"]
+        assert quarantine.exists()
+        # The journal itself is now clean.
+        rescan, rescan_report = scan_journal(journal.path)
+        assert len(rescan) == 2
+        assert rescan_report["dropped_lines"] == 0
+
+    def test_repair_never_overwrites_an_older_quarantine(self, journal):
+        self._write_three(journal)
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 7])
+        _, first = repair_journal(journal.path)
+        journal2 = Journal(journal.path)
+        journal2.lsn = 2
+        journal2.append("cmd_tick", 9.0, {"time": 9.0})
+        journal2.close()
+        raw = journal.path.read_bytes()
+        journal.path.write_bytes(raw[: len(raw) - 5])
+        _, second = repair_journal(journal.path)
+        assert first["quarantined_to"] != second["quarantined_to"]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        records, report = scan_journal(tmp_path / "absent.jsonl")
+        assert records == []
+        assert report["records"] == 0
+
+
+class TestCrashPoints:
+    def test_clean_crash_keeps_the_record_durable(self, journal):
+        journal.arm([CrashPoint(time=0.0, after_lsn=2)])
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        with pytest.raises(SimulatedCrash):
+            journal.append("cmd_tick", 1.0, {"time": 1.0})
+        records, _ = scan_journal(journal.path)
+        assert [r["lsn"] for r in records] == [1, 2]
+
+    def test_torn_crash_drops_the_record(self, journal):
+        journal.arm([CrashPoint(time=0.0, after_lsn=2, torn_tail=True)])
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        with pytest.raises(SimulatedCrash):
+            journal.append("cmd_tick", 1.0, {"time": 1.0})
+        records, report = scan_journal(journal.path)
+        assert [r["lsn"] for r in records] == [1]
+        assert report["dropped_bytes"] > 0
+
+    def test_each_point_fires_once(self, journal):
+        journal.arm([CrashPoint(time=0.0, after_lsn=1)])
+        with pytest.raises(SimulatedCrash):
+            journal.append("cmd_tick", 0.0, {"time": 0.0})
+        # Fired points stay fired: the journal keeps working.
+        assert journal.append("cmd_tick", 1.0, {"time": 1.0}) == 2
+
+    def test_replaying_suppresses_appends(self, journal):
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        journal.replaying = True
+        assert journal.append("cmd_tick", 1.0, {"time": 1.0}) is None
+        journal.replaying = False
+        records, _ = scan_journal(journal.path)
+        assert len(records) == 1
+
+    def test_fsync_counter(self, tmp_path):
+        journal = Journal(tmp_path / JOURNAL_FILE, fsync=True)
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        journal.append("cmd_tick", 1.0, {"time": 1.0})
+        assert journal.fsyncs_total == 2
+        journal.close()

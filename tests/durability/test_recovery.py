@@ -1,0 +1,159 @@
+"""Recovery: snapshot restore + journal replay converge, for both scopes."""
+
+import json
+
+import pytest
+
+from repro.durability import inspect_state_dir, recover
+from repro.durability.harness import (
+    digest,
+    fleet_scenario,
+    resume_index,
+    run_steps,
+    service_scenario,
+)
+from repro.durability.journal import JOURNAL_FILE, scan_journal
+from repro.durability.snapshot import list_snapshots
+
+
+class TestServiceRecovery:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return service_scenario()
+
+    def test_recover_reaches_the_exact_pre_crash_state(self, scenario, tmp_path):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+
+        # Recover BEFORE digesting: digest() drives further (journaled)
+        # ticks, which would otherwise grow the very journal replayed.
+        recovered, report = recover(
+            state_dir, lambda: scenario.factory(state_dir)
+        )
+        assert report.scope == "service"
+        assert report.snapshot_lsn > 0  # the script crosses a snapshot
+        assert report.journal_drop["dropped_lines"] == 0
+        # The recovered twin must keep making the same decisions the
+        # baseline makes over the next ticks.
+        want = digest(scenario, baseline, extra_ticks=4)
+        assert digest(scenario, recovered, extra_ticks=4) == want
+
+    def test_recovery_updates_instruments(self, scenario, tmp_path):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        recovered, report = recover(
+            state_dir, lambda: scenario.factory(state_dir)
+        )
+        reg = recovered.registry
+        assert (
+            reg.get("durability_recovery_replayed_records").total
+            == report.replayed_records
+        )
+        assert reg.get("durability_recovery_ticks").total == report.replayed_ticks
+        assert recovered.durability.recovered is True
+
+    def test_factory_without_durability_is_rejected(self, scenario, tmp_path):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        with pytest.raises(ValueError):
+            recover(state_dir, lambda: scenario.factory(None))
+
+    def test_corrupt_newest_snapshot_falls_back(self, scenario, tmp_path):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        snaps = list_snapshots(state_dir)
+        assert len(snaps) >= 1
+        newest = state_dir / snaps[-1]["file"]
+        raw = newest.read_text()
+        newest.write_text(raw[: len(raw) // 2])
+
+        recovered, report = recover(
+            state_dir, lambda: scenario.factory(state_dir)
+        )
+        assert len(report.snapshots_rejected) == 1
+        assert report.snapshot_lsn < snaps[-1]["lsn"]
+        want = digest(scenario, baseline, extra_ticks=3)
+        assert digest(scenario, recovered, extra_ticks=3) == want
+
+    def test_torn_journal_tail_is_quarantined_and_reported(
+        self, scenario, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        journal_path = state_dir / JOURNAL_FILE
+        raw = journal_path.read_bytes()
+        journal_path.write_bytes(raw[: len(raw) - 11])
+
+        # Read-only inspection sees the damage without touching disk.
+        before = inspect_state_dir(state_dir)
+        assert before["journal"]["dropped_lines"] == 1
+        assert before["journal"]["dropped_bytes"] > 0
+        assert before["journal"]["drop_reason"]
+
+        recovered, report = recover(
+            state_dir, lambda: scenario.factory(state_dir)
+        )
+        assert report.journal_drop["dropped_lines"] == 1
+        assert report.journal_drop["quarantined_to"]
+        assert (state_dir / report.journal_drop["quarantined_to"]).exists()
+        # The recovered journal continues exactly after the last valid LSN.
+        assert recovered.durability.journal.lsn == report.last_lsn
+
+
+class TestFleetRecovery:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return fleet_scenario()
+
+    def test_recover_restores_routing_tenancy_and_federation(
+        self, scenario, tmp_path
+    ):
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+
+        recovered, report = recover(
+            state_dir, lambda: scenario.factory(state_dir)
+        )
+        assert report.scope == "fleet"
+        assert recovered.check_invariants() == []
+        want = digest(scenario, baseline, extra_ticks=4)
+        assert digest(scenario, recovered, extra_ticks=4) == want
+
+    def test_scope_mismatch_is_rejected(self, scenario, tmp_path):
+        service = service_scenario()
+        state_dir = tmp_path / "state"
+        baseline = service.factory(state_dir)
+        run_steps(service, baseline)
+        with pytest.raises(ValueError):
+            recover(state_dir, lambda: scenario.factory(state_dir))
+
+
+class TestInspect:
+    def test_inspect_reports_replay_suffix_and_kinds(self, tmp_path):
+        scenario = service_scenario()
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        doc = inspect_state_dir(state_dir)
+        assert doc["journal"]["records"] > 0
+        assert doc["journal"]["kinds"]["cmd_submit"] == 6
+        assert doc["recovery"]["scope"] == "service"
+        assert doc["recovery"]["snapshot_lsn"] > 0
+        assert doc["recovery"]["replay_records"] >= 0
+        assert doc["in_flight_migrations"] == []
+        json.dumps(doc)  # JSON-ready throughout
+
+    def test_resume_index_counts_valid_commands(self, tmp_path):
+        scenario = service_scenario()
+        state_dir = tmp_path / "state"
+        baseline = scenario.factory(state_dir)
+        run_steps(scenario, baseline)
+        records, _ = scan_journal(state_dir / JOURNAL_FILE)
+        assert resume_index(state_dir) == len(scenario.steps)
+        assert len(records) > len(scenario.steps)  # markers ride along

@@ -1,0 +1,95 @@
+"""TickReport / AdmissionDecision JSON round-trips (regression guard)."""
+
+import json
+
+import repro
+from repro.serialization import (
+    admission_decision_from_json,
+    admission_decision_to_json,
+    tick_report_from_json,
+    tick_report_to_json,
+)
+from repro.service import AdmissionController, StreamQueryService
+
+
+def _service(seed=11):
+    net = repro.transit_stub_by_size(24, seed=seed)
+    hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+    workload = repro.generate_workload(
+        net,
+        repro.WorkloadParams(num_streams=6, num_queries=5, joins_per_query=(1, 3)),
+        seed=seed + 1,
+    )
+    rates = workload.rate_model()
+    optimizer = repro.TopDownOptimizer(hierarchy, rates)
+    service = StreamQueryService(
+        optimizer, net, rates, hierarchy=hierarchy,
+        admission=AdmissionController(budget=3),
+    )
+    return service, workload
+
+
+class TestTickReportRoundTrip:
+    def test_live_reports_round_trip(self):
+        service, workload = _service()
+        for query in workload:
+            service.submit(query, lifetime=2.0)
+        reports = [service.tick() for _ in range(4)]
+        assert any(r.deployed or r.retired for r in reports)
+        for report in reports:
+            clone = tick_report_from_json(tick_report_to_json(report))
+            assert clone.time == report.time
+            assert clone.deployed == report.deployed
+            assert clone.retired == report.retired
+            assert clone.parked == report.parked
+            assert clone.migrated == report.migrated
+            assert clone.drift_streams == report.drift_streams
+
+    def test_envelope_is_kind_tagged(self):
+        service, workload = _service()
+        service.submit(workload.queries[0], lifetime=2.0)
+        doc = json.loads(tick_report_to_json(service.tick()))
+        assert doc["kind"] == "repro.tick_report"
+
+    def test_double_round_trip_is_stable(self):
+        service, workload = _service()
+        for query in workload:
+            service.submit(query, lifetime=2.0)
+        report = service.tick()
+        once = tick_report_to_json(report)
+        twice = tick_report_to_json(tick_report_from_json(once))
+        assert once == twice
+
+
+class TestAdmissionDecisionRoundTrip:
+    def test_all_decision_statuses_round_trip(self):
+        service, workload = _service()
+        decisions = [
+            service.submit(query, lifetime=5.0) for query in workload
+        ]
+        statuses = {d.status.value for d in decisions}
+        assert "admitted" in statuses and "queued" in statuses
+        for decision in decisions:
+            clone = admission_decision_from_json(
+                admission_decision_to_json(decision)
+            )
+            assert clone.query == decision.query
+            assert clone.status is decision.status
+            assert clone.reason == decision.reason
+            assert clone.queue_position == decision.queue_position
+
+    def test_rejected_decision_round_trips(self):
+        service, workload = _service()
+        service.submit(workload.queries[0], lifetime=5.0)
+        duplicate = service.submit(workload.queries[0], lifetime=5.0)
+        assert duplicate.rejected
+        clone = admission_decision_from_json(
+            admission_decision_to_json(duplicate)
+        )
+        assert clone.rejected and clone.status is duplicate.status
+
+    def test_envelope_is_kind_tagged(self):
+        service, workload = _service()
+        decision = service.submit(workload.queries[0], lifetime=5.0)
+        doc = json.loads(admission_decision_to_json(decision))
+        assert doc["kind"] == "repro.admission_decision"

@@ -1,0 +1,105 @@
+"""Snapshot envelope: CRC validation, fallback past corruption, pruning."""
+
+import json
+
+import pytest
+
+from repro.durability.journal import Journal, SimulatedCrash
+from repro.durability.snapshot import (
+    list_snapshots,
+    load_latest,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.resilience.faults import CrashPoint
+
+
+def _write(tmp_path, lsn, state=None, **kwargs):
+    return write_snapshot(
+        tmp_path, lsn, "service", state or {"lsn": lsn}, **kwargs
+    )
+
+
+class TestRoundTrip:
+    def test_latest_valid_snapshot_wins(self, tmp_path):
+        _write(tmp_path, 10)
+        _write(tmp_path, 25)
+        doc, rejected = load_latest(tmp_path)
+        assert doc is not None and doc["lsn"] == 25
+        assert doc["state"] == {"lsn": 25}
+        assert rejected == []
+
+    def test_empty_directory_loads_none(self, tmp_path):
+        doc, rejected = load_latest(tmp_path)
+        assert doc is None and rejected == []
+
+    def test_retain_prunes_oldest(self, tmp_path):
+        for lsn in (5, 10, 15, 20):
+            _write(tmp_path, lsn, retain=2)
+        files = [s["file"] for s in list_snapshots(tmp_path)]
+        assert files == ["snapshot-000000000015.json", "snapshot-000000000020.json"]
+
+
+class TestCorruption:
+    def test_truncated_snapshot_falls_back_to_previous(self, tmp_path):
+        _write(tmp_path, 10)
+        path = _write(tmp_path, 25)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) // 2])
+        doc, rejected = load_latest(tmp_path)
+        assert doc is not None and doc["lsn"] == 10
+        assert len(rejected) == 1
+        assert rejected[0]["file"] == "snapshot-000000000025.json"
+        assert "truncated" in rejected[0]["reason"]
+
+    def test_crc_mismatch_is_rejected(self, tmp_path):
+        _write(tmp_path, 10)
+        path = _write(tmp_path, 25)
+        doc = json.loads(path.read_text())
+        doc["state"]["lsn"] = 999  # stale CRC
+        path.write_text(json.dumps(doc))
+        loaded, rejected = load_latest(tmp_path)
+        assert loaded is not None and loaded["lsn"] == 10
+        assert rejected and "CRC" in rejected[0]["reason"]
+
+    def test_wrong_kind_is_rejected(self, tmp_path):
+        path = snapshot_path(tmp_path, 7)
+        path.write_text(json.dumps({"kind": "something_else"}))
+        loaded, rejected = load_latest(tmp_path)
+        assert loaded is None
+        assert rejected and "envelope" in rejected[0]["reason"]
+
+    def test_every_snapshot_corrupt_means_full_replay(self, tmp_path):
+        for lsn in (10, 25):
+            path = _write(tmp_path, lsn)
+            raw = path.read_text()
+            path.write_text(raw[: len(raw) // 3])
+        doc, rejected = load_latest(tmp_path)
+        assert doc is None
+        assert len(rejected) == 2
+
+
+class TestMidSnapshotCrash:
+    def test_mid_snapshot_crash_leaves_a_torn_file(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        journal.arm([CrashPoint(time=0.0, after_lsn=1, mid_snapshot=True)])
+        with pytest.raises(SimulatedCrash):
+            write_snapshot(
+                tmp_path, journal.lsn, "service", {"x": 1}, journal=journal
+            )
+        # The torn file exists at the final name but never validates.
+        entries = list_snapshots(tmp_path)
+        assert len(entries) == 1 and not entries[0]["valid"]
+        doc, rejected = load_latest(tmp_path)
+        assert doc is None and len(rejected) == 1
+
+    def test_unarmed_journal_does_not_crash_snapshots(self, tmp_path):
+        journal = Journal(tmp_path / "journal.jsonl")
+        journal.append("cmd_tick", 0.0, {"time": 0.0})
+        path = write_snapshot(
+            tmp_path, journal.lsn, "service", {"x": 1}, journal=journal
+        )
+        doc, rejected = load_latest(tmp_path)
+        assert doc is not None and doc["state"] == {"x": 1}
+        assert path.exists() and rejected == []

@@ -66,6 +66,21 @@ class TestRunCase:
         assert set(entry["cases"]) == {"plan_top_down"}
 
 
+class TestDurabilityOverhead:
+    def test_journal_never_leaks_work_into_the_planner(self):
+        """durability_overhead must do the exact planner work of
+        service_churn -- the journal only records decisions."""
+        lab = PerfLab(
+            cases=["service_churn", "durability_overhead"], repeats=1
+        )
+        churn = lab.run_case("service_churn")["ops"]
+        durable = lab.run_case("durability_overhead")["ops"]
+        wal_only = {"journal_records", "snapshots"}
+        assert {k: v for k, v in durable.items() if k not in wal_only} == churn
+        assert durable["journal_records"] > 0
+        assert durable["snapshots"] > 0
+
+
 class TestTrajectoryIO:
     def test_load_initializes_missing_file(self, tmp_path):
         doc = load_trajectory(tmp_path / "BENCH_trajectory.json")
