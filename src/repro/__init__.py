@@ -65,6 +65,8 @@ from repro.baselines import (
 )
 from repro.workload import (
     DriftTimeline,
+    HeterogeneousFleetProfile,
+    HotspotProfile,
     PeriodicDrift,
     RampDrift,
     StepDrift,
@@ -107,6 +109,7 @@ from repro.errors import (
     DeploymentError,
     FaultInjectionError,
     HierarchyError,
+    InfeasiblePlacementError,
     NodeNotFoundError,
     PlanningError,
     ReproError,
@@ -171,6 +174,18 @@ from repro.fleet import (
     Tenant,
     TenantDirectory,
     WeightedFairScheduler,
+)
+from repro.resources import (
+    Load,
+    LoadShedder,
+    NodeCapacity,
+    OperatorFootprint,
+    PlacementConstraint,
+    ResourceConfig,
+    ResourceLedger,
+    ResourceManager,
+    capacities_by_kind,
+    uniform_capacities,
 )
 
 __version__ = "1.0.0"
@@ -287,6 +302,20 @@ __all__ = [
     "NodeNotFoundError",
     "UnknownQueryError",
     "FaultInjectionError",
+    "InfeasiblePlacementError",
+    # resources
+    "Load",
+    "NodeCapacity",
+    "OperatorFootprint",
+    "PlacementConstraint",
+    "ResourceConfig",
+    "ResourceLedger",
+    "ResourceManager",
+    "LoadShedder",
+    "uniform_capacities",
+    "capacities_by_kind",
+    "HotspotProfile",
+    "HeterogeneousFleetProfile",
     # resilience
     "FaultPlan",
     "FaultInjector",

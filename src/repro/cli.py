@@ -347,6 +347,127 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _capacity_profile(args, network):
+    """Build the ``{node: NodeCapacity}`` map a CLI run asked for."""
+    import repro
+
+    profile = args.capacity_profile
+    if profile == "unbounded":
+        return None
+    if profile == "uniform":
+        return repro.uniform_capacities(
+            network, cpu=args.cpu, memory=args.memory, bandwidth=args.bandwidth
+        )
+    if profile == "hotspot":
+        return repro.HotspotProfile(
+            cpu=args.cpu,
+            memory=args.memory,
+            bandwidth=args.bandwidth,
+            weak_fraction=args.weak_fraction,
+            seed=args.seed or 0,
+        ).capacities(network)
+    if profile == "heterogeneous":
+        return repro.HeterogeneousFleetProfile(seed=args.seed or 0).capacities(
+            network
+        )
+    raise ValueError(f"unknown capacity profile {profile!r}")
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    import json
+
+    import repro
+    from repro.resources import ResourceConfig
+    from repro.service import StreamQueryService, churn_trace
+
+    network, workload = _generated_workload(args)
+    rates = workload.rate_model()
+    hierarchy = repro.build_hierarchy(network, max_cs=args.max_cs, seed=0)
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.make_optimizer(
+        args.algorithm, network, rates, hierarchy=hierarchy, ads=ads
+    )
+    try:
+        config = ResourceConfig(
+            capacities=_capacity_profile(args, network),
+            utilization_bound=args.utilization_bound,
+            load_weight=args.load_weight,
+            shed=not args.no_shed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = StreamQueryService(
+        optimizer, network, rates, hierarchy=hierarchy, ads=ads,
+        resources=config,
+    )
+    trace = churn_trace(
+        workload,
+        lifetime=args.lifetime,
+        arrivals_per_tick=args.arrivals,
+        repeats=args.repeats,
+    )
+    report = service.replay(trace)
+
+    manager = service.resources
+    resources = manager.summary()
+    ledger = resources["ledger"]
+    # Infeasible fleet: capacity never recovered enough to run every
+    # admitted query, or a node is (still) over its bound.
+    infeasible = bool(resources["parked"]) or bool(ledger["overloaded"])
+    if args.json:
+        payload = {
+            "capacity_profile": args.capacity_profile,
+            "algorithm": args.algorithm,
+            "nodes": len(network.nodes()),
+            "ticks": report.ticks,
+            "infeasible": infeasible,
+            "resources": resources,
+            **{
+                k: v
+                for k, v in report.summary.items()
+                if k not in ("resources",)
+            },
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 1 if infeasible else 0
+
+    s = report.summary
+    print(f"resource-aware placement: {args.algorithm} on "
+          f"{len(network.nodes())} nodes, profile {args.capacity_profile}")
+    print(f"  trace: {s['submitted']} submissions over {report.ticks} ticks "
+          f"({args.repeats}x {len(workload)} queries, lifetime {args.lifetime})")
+    print(f"  admitted {s['admitted']}  rejected {s['rejected']}  "
+          f"deployed {s['deployed_total']}  retired {s['retired_total']}")
+    if manager.constrained:
+        print(f"  bound {config.utilization_bound:g} "
+              f"(load weight {config.load_weight:g}): "
+              f"max utilization {ledger['max_utilization']:.2f}, "
+              f"mean {ledger['mean_utilization']:.2f}")
+        hot = ", ".join(
+            f"n{h['node']}={h['utilization']:.2f}" for h in ledger["hot_nodes"]
+        )
+        print(f"  hot nodes: {hot or 'none'}")
+        print(f"  shed {resources['shed_total']}  "
+              f"readmitted {resources['readmitted_total']}  "
+              f"infeasible {resources['infeasible_total']}  "
+              f"parked now {len(resources['parked'])}")
+    else:
+        print("  unconstrained (no finite capacities): planner output is "
+              "byte-identical to a build without the resource layer")
+    print(f"  final: {s['final_live']} live queries, "
+          f"cost {s['final_cost']:,.1f}/unit-time")
+    if infeasible:
+        if resources["parked"]:
+            print(f"  INFEASIBLE: still parked: {', '.join(resources['parked'])}")
+        for entry in ledger["overloaded"]:
+            print(f"  INFEASIBLE: node {entry['node']} at "
+                  f"{entry['utilization']:.2f}")
+        return 1
+    print("  feasibility: ok (no node over its bound, nothing parked)")
+    return 0
+
+
 def _generated_workload(args):
     """Synthetic (network, workload) pair shared by trace/metrics."""
     import repro
@@ -1095,6 +1216,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable mode: journal fleet commands and cut "
                             "periodic snapshots into DIR")
     fleet.set_defaults(func=_cmd_fleet)
+
+    resources = sub.add_parser(
+        "resources",
+        help="run the capacity-bounded lifecycle service over a churn trace",
+    )
+    resources.add_argument("--capacity-profile", default="uniform",
+                           choices=["unbounded", "uniform", "heterogeneous",
+                                    "hotspot"],
+                           help="how node capacities are drawn")
+    resources.add_argument("--utilization-bound", type=float, default=1.0,
+                           help="max allowed per-node utilization ratio")
+    resources.add_argument("--load-weight", type=float, default=0.0,
+                           help="bi-criteria weight on projected utilization "
+                                "(0 = pure communication cost under the bound)")
+    resources.add_argument("--cpu", type=float, default=600.0,
+                           help="per-node cpu capacity (uniform/hotspot)")
+    resources.add_argument("--memory", type=float, default=400.0,
+                           help="per-node memory capacity (uniform/hotspot)")
+    resources.add_argument("--bandwidth", type=float, default=800.0,
+                           help="per-node bandwidth capacity (uniform/hotspot)")
+    resources.add_argument("--weak-fraction", type=float, default=0.25,
+                           help="hotspot profile: fraction of weak nodes")
+    resources.add_argument("--no-shed", action="store_true",
+                           help="park infeasible queries instead of shedding "
+                                "lighter ones")
+    resources.add_argument("--nodes", type=int, default=32)
+    resources.add_argument("--streams", type=int, default=8)
+    resources.add_argument("--queries", type=int, default=12)
+    resources.add_argument("--lifetime", type=float, default=5.0)
+    resources.add_argument("--arrivals", type=int, default=2)
+    resources.add_argument("--repeats", type=int, default=2)
+    resources.add_argument("--max-cs", type=int, default=8)
+    resources.add_argument("--algorithm", default="top-down",
+                           choices=["top-down", "bottom-up"])
+    resources.add_argument("--seed", type=int, default=None)
+    resources.add_argument("--json", action="store_true",
+                           help="emit the full report as JSON")
+    resources.set_defaults(func=_cmd_resources)
 
     trace = sub.add_parser(
         "trace",

@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.cost import RateModel
 from repro.core.enumeration import all_join_trees, tree_is_connected
 from repro.core.placement import nominal_assignments, optimal_tree_placement
+from repro.errors import InfeasiblePlacementError
 from repro.core.reuse import input_partitions, substitute_views
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Cluster, Hierarchy
@@ -73,6 +74,11 @@ class BottomUpOptimizer:
         connected_only: Skip cross-product join trees when possible.
         tracer: Span tracer (see :mod:`repro.obs.tracer`); the no-op
             :data:`~repro.obs.tracer.NULL_TRACER` when omitted.
+        resources: Optional :class:`~repro.resources.ResourceManager`;
+            same contract as on
+            :class:`~repro.core.top_down.TopDownOptimizer` -- bounded /
+            bi-criteria placement when constrained, byte-identical
+            behavior when ``None``.
     """
 
     name = "bottom-up"
@@ -85,11 +91,13 @@ class BottomUpOptimizer:
         reuse: bool = True,
         connected_only: bool = True,
         tracer: Tracer | None = None,
+        resources=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.rates = rates
         self.reuse = reuse
         self.connected_only = connected_only
+        self.resources = resources
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if ads is None:
             ads = AdvertisementIndex(hierarchy)
@@ -163,6 +171,11 @@ class BottomUpOptimizer:
             for s in query.sources
         ]
         built: dict[frozenset[str], tuple[PlanNode, dict[PlanNode, int]]] = {}
+        constraint = (
+            self.resources.constraint_for(query)
+            if self.resources is not None
+            else None
+        )
 
         start_cluster = self.hierarchy.cluster_of(query.sink, 1)
         # Bottom-Up registration: the sink informs only its own leaf
@@ -200,7 +213,7 @@ class BottomUpOptimizer:
                     # Everything is local: plan the final join and stop.
                     final = self._plan_component(
                         cluster, candidates, remaining, query.sink, query, costs,
-                        stats, built, tracer,
+                        stats, built, tracer, constraint=constraint,
                     )
                     trace_entry["plans"] = stats["plans_examined"] - plans_before
                     climb.tag(outcome="final")
@@ -208,7 +221,7 @@ class BottomUpOptimizer:
                 if len(local) >= 2:
                     remaining = self._deploy_local_views(
                         cluster, candidates, local, remaining, query, costs,
-                        stats, built, tracer,
+                        stats, built, tracer, constraint=constraint,
                     )
                     climb.tag(outcome="partial-deploy")
                 else:
@@ -234,6 +247,7 @@ class BottomUpOptimizer:
         stats: dict,
         built: dict,
         tracer: Tracer = NULL_TRACER,
+        constraint=None,
     ) -> list[_Input]:
         """Join every join-connected group of local inputs; return the
         updated pending-input list."""
@@ -246,7 +260,7 @@ class BottomUpOptimizer:
                 continue
             tree, placement = self._plan_component(
                 cluster, candidates, component, cluster.coordinator, query, costs,
-                stats, built, tracer,
+                stats, built, tracer, constraint=constraint,
             )
             root_node = placement[tree]
             view = tree.sources
@@ -267,6 +281,7 @@ class BottomUpOptimizer:
         stats: dict,
         built: dict,
         tracer: Tracer = NULL_TRACER,
+        constraint=None,
     ) -> tuple[PlanNode, dict[PlanNode, int]]:
         """Exhaustively plan the join over ``inputs`` on ``candidates``.
 
@@ -304,8 +319,10 @@ class BottomUpOptimizer:
                     cand_cost = min(
                         (rate * float(costs[p, target]), p) for p in only.positions
                     )
+                    # A lone leaf deploys no join operator, so a resource
+                    # constraint has nothing to price or forbid here.
                     if best is None or cand_cost[0] < best[0] - 1e-12:
-                        best = (cand_cost[0], leaf, {leaf: cand_cost[1]})
+                        best = (cand_cost[0], cand_cost[0], leaf, {leaf: cand_cost[1]})
                     stats["trees_examined"] += 1
                     stats["plans_examined"] += 1
                     span.incr("trees_enumerated")
@@ -321,18 +338,36 @@ class BottomUpOptimizer:
                 for tree in trees:
                     rates = self.rates.flow_rates(query, tree)
                     leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
-                    result = optimal_tree_placement(
-                        tree, candidates, costs, leaf_positions, rates,
-                        sink=target, tracer=tracer,
-                    )
+                    try:
+                        result = optimal_tree_placement(
+                            tree, candidates, costs, leaf_positions, rates,
+                            sink=target, tracer=tracer, constraint=constraint,
+                        )
+                    except InfeasiblePlacementError:
+                        stats["plans_examined"] += nominal_assignments(tree, len(candidates))
+                        stats["trees_examined"] += 1
+                        span.incr("infeasible_trees")
+                        continue
                     stats["plans_examined"] += nominal_assignments(tree, len(candidates))
                     stats["trees_examined"] += 1
                     span.incr("plans_examined", nominal_assignments(tree, len(candidates)))
-                    if best is None or result.cost < best[0] - 1e-12:
-                        best = (result.cost, tree, result.placement)
-            if best is None:  # pragma: no cover - identity partition always exists
+                    if constraint is not None and not constraint.validate(
+                        tree, result.placement
+                    ):
+                        span.incr("infeasible_trees")
+                        continue
+                    if best is None or result.objective < best[0] - 1e-12:
+                        best = (result.objective, result.cost, tree, result.placement)
+            if best is None:
+                if constraint is not None:
+                    raise InfeasiblePlacementError(
+                        f"no feasible placement for component over "
+                        f"{[sorted(i.view) for i in inputs]} under the "
+                        f"utilization bound"
+                    )
+                # pragma: no cover - identity partition always exists
                 raise RuntimeError("no feasible component plan")
-            cost, tree, placement = best
+            _objective, cost, tree, placement = best
             span.tag(chosen=tree.pretty(), est_cost=cost)
             reused = sum(1 for l in tree.leaves() if not l.is_base_stream)
             if reused:

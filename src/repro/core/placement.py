@@ -17,6 +17,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.errors import InfeasiblePlacementError
 from repro.perf import profiler as _perf
 from repro.query.plan import Join, Leaf, PlanNode
 
@@ -30,11 +31,20 @@ class PlacementResult:
         cost: Total flow cost: every child-to-parent shipment plus the
             root-to-sink delivery when a sink was given.
         tree: The tree that was placed.
+        objective: What the DP actually minimized.  Equal to ``cost``
+            unless a resource constraint with a bi-criteria weight was
+            active, in which case it additionally carries the load
+            penalty (``cost`` stays pure communication either way).
     """
 
     placement: dict[PlanNode, int]
     cost: float
     tree: PlanNode
+    objective: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.objective is None:
+            self.objective = self.cost
 
 
 def nominal_assignments(tree: PlanNode, num_candidates: int) -> int:
@@ -54,6 +64,7 @@ def optimal_tree_placement(
     rates: Mapping[PlanNode, float],
     sink: int | None,
     tracer=None,
+    constraint=None,
 ) -> PlacementResult:
     """Optimally assign ``tree``'s operators to ``candidates``.
 
@@ -74,9 +85,20 @@ def optimal_tree_placement(
             the innermost hot loop, so rather than opening a span per
             call it increments counters on the caller's current span
             (``placements``, ``placement_dp_states``).
+        constraint: Optional
+            :class:`~repro.resources.constraint.PlacementConstraint`.
+            Candidates that would push a node past its utilization
+            bound cost ``inf`` (whole subtrees route around them) and a
+            bi-criteria load penalty joins the objective; the reported
+            ``cost`` stays pure communication.  With ``None`` (the
+            default) this code path is untouched.
 
     Returns:
         The optimal :class:`PlacementResult`.
+
+    Raises:
+        InfeasiblePlacementError: ``constraint`` was given and no
+            assignment keeps every operator's node under its bound.
     """
     cand = np.asarray(list(candidates), dtype=np.intp)
     if cand.size == 0:
@@ -118,6 +140,13 @@ def optimal_tree_placement(
             best = arrival.argmin(axis=0)
             total += arrival[best, np.arange(cand.size)]
             choice[(sub, side)] = best
+        if constraint is not None:
+            penalty = constraint.join_penalty(sub, cand)
+            if penalty is not None:
+                total = total + penalty
+            mask = constraint.join_mask(sub, cand)
+            if not mask.all():
+                total = np.where(mask, total, np.inf)
         positions[sub] = cand
         dp[sub] = total
 
@@ -129,6 +158,11 @@ def optimal_tree_placement(
         final = root_dp
     best_idx = int(final.argmin())
     best_cost = float(final[best_idx])
+    if constraint is not None and not np.isfinite(best_cost):
+        raise InfeasiblePlacementError(
+            f"no placement of {tree.pretty()} keeps every node under its "
+            f"utilization bound"
+        )
 
     placement: dict[PlanNode, int] = {}
 
@@ -139,7 +173,21 @@ def optimal_tree_placement(
                 reconstruct(child, int(choice[(sub, side)][pos_idx]))
 
     reconstruct(tree, best_idx)
-    return PlacementResult(placement=placement, cost=best_cost, tree=tree)
+    if constraint is None:
+        return PlacementResult(placement=placement, cost=best_cost, tree=tree)
+    # Under a constraint the DP total may carry a load penalty; re-derive
+    # the pure communication cost of the chosen assignment so downstream
+    # accounting (deployment pricing, explanations) is unaffected.
+    comm = 0.0
+    for join in tree.joins():
+        node = placement[join]
+        for child in (join.left, join.right):
+            comm += rates[child] * float(costs[placement[child], node])
+    if sink is not None:
+        comm += rates[tree] * float(costs[placement[tree], sink])
+    return PlacementResult(
+        placement=placement, cost=comm, tree=tree, objective=best_cost
+    )
 
 
 def brute_force_tree_placement(

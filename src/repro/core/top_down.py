@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.cost import RateModel
 from repro.core.enumeration import all_join_trees, tree_is_connected
+from repro.errors import InfeasiblePlacementError
 from repro.core.placement import nominal_assignments, optimal_tree_placement
 from repro.core.reuse import resolve_reuse_leaves, substitute_views
 from repro.hierarchy.advertisements import AdvertisementIndex
@@ -77,6 +78,15 @@ class TopDownOptimizer:
         connected_only: Skip cross-product join trees when possible.
         tracer: Span tracer (see :mod:`repro.obs.tracer`); the no-op
             :data:`~repro.obs.tracer.NULL_TRACER` when omitted.
+        resources: Optional :class:`~repro.resources.ResourceManager`.
+            When set (and constrained), every placement is optimized
+            under its utilization bound / bi-criteria objective and
+            jointly validated; trees with no feasible assignment are
+            skipped and an
+            :class:`~repro.errors.InfeasiblePlacementError` is raised
+            when nothing survives.  Services arming the resource layer
+            wire this automatically.  ``None`` (the default) keeps
+            planning byte-identical to a build without the package.
     """
 
     name = "top-down"
@@ -89,11 +99,13 @@ class TopDownOptimizer:
         reuse: bool = True,
         connected_only: bool = True,
         tracer: Tracer | None = None,
+        resources=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.rates = rates
         self.reuse = reuse
         self.connected_only = connected_only
+        self.resources = resources
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if ads is None:
             ads = AdvertisementIndex(hierarchy)
@@ -180,9 +192,14 @@ class TopDownOptimizer:
                     f"stream {stream!r} is not advertised anywhere in the hierarchy"
                 )
             inputs.append(_Input(view=frozenset((stream,)), kind="base"))
+        constraint = (
+            self.resources.constraint_for(query)
+            if self.resources is not None
+            else None
+        )
         task = self._plan_task(
             root, tuple(inputs), query.sink, query, costs, stats, tracer,
-            parent_task=-1,
+            parent_task=-1, constraint=constraint,
         )
 
         tree, placement = task.tree, dict(task.placement)
@@ -204,6 +221,7 @@ class TopDownOptimizer:
         stats: dict,
         tracer: Tracer,
         parent_task: int = -1,
+        constraint=None,
     ) -> _TaskPlan:
         """Plan the join over ``inputs`` within ``cluster``, recursively."""
         stats["tasks"] += 1
@@ -254,19 +272,38 @@ class TopDownOptimizer:
                 for tree in trees:
                     rates = self.rates.flow_rates(query, tree)
                     leaf_positions = {leaf: positions[leaf.view] for leaf in tree.leaves()}
-                    result = optimal_tree_placement(
-                        tree, members, costs, leaf_positions, rates,
-                        sink=target_pos, tracer=tracer,
-                    )
+                    try:
+                        result = optimal_tree_placement(
+                            tree, members, costs, leaf_positions, rates,
+                            sink=target_pos, tracer=tracer, constraint=constraint,
+                        )
+                    except InfeasiblePlacementError:
+                        stats["plans_examined"] += nominal_assignments(tree, len(members))
+                        stats["trees_examined"] += 1
+                        span.incr("infeasible_trees")
+                        continue
                     stats["plans_examined"] += nominal_assignments(tree, len(members))
                     stats["trees_examined"] += 1
                     span.incr("plans_examined", nominal_assignments(tree, len(members)))
-                    if best is None or result.cost < best[0] - 1e-12:
+                    if constraint is not None and not constraint.validate(
+                        tree, result.placement
+                    ):
+                        # Independently feasible operators can still jointly
+                        # overload a node; the per-plan check is the contract.
+                        span.incr("infeasible_trees")
+                        continue
+                    if best is None or result.objective < best[0] - 1e-12:
                         leaf_meta = {leaf: by_view[leaf.view] for leaf in tree.leaves()}
-                        best = (result.cost, tree, result.placement, leaf_meta)
+                        best = (result.objective, result.cost, tree, result.placement, leaf_meta)
             if best is None:
+                if constraint is not None:
+                    raise InfeasiblePlacementError(
+                        f"no feasible placement for task over "
+                        f"{[sorted(i.view) for i in inputs]} under the "
+                        f"utilization bound"
+                    )
                 raise RuntimeError(f"no feasible plan for task over {[i.view for i in inputs]}")
-            est_cost, tree, placement, leaf_meta = best
+            _objective, est_cost, tree, placement, leaf_meta = best
             trace_entry["plans"] = stats["plans_examined"] - plans_before
             span.tag(chosen=tree.pretty(), est_cost=est_cost)
             reused = sum(1 for meta in leaf_meta.values() if meta.kind == "reuse")
@@ -280,7 +317,7 @@ class TopDownOptimizer:
                 return _TaskPlan(tree=tree, placement=dict(placement), est_cost=est_cost)
             return self._recurse_fragments(
                 cluster, tree, placement, leaf_meta, out_target, query, costs, stats,
-                est_cost, task_idx, tracer,
+                est_cost, task_idx, tracer, constraint=constraint,
             )
 
     # ------------------------------------------------------------------
@@ -297,6 +334,7 @@ class TopDownOptimizer:
         est_cost: float,
         task_idx: int,
         tracer: Tracer,
+        constraint=None,
     ) -> _TaskPlan:
         """Split the chosen tree into per-member fragments and recurse."""
         # Fragment id: the member a join was assigned to, with contiguous
@@ -355,7 +393,7 @@ class TopDownOptimizer:
             child_cluster = cluster.children[member]
             fragment_plans[frag_id] = self._plan_task(
                 child_cluster, tuple(frag_inputs), frag_target, query, costs, stats,
-                tracer, parent_task=task_idx,
+                tracer, parent_task=task_idx, constraint=constraint,
             )
 
         # Stitch: substitute fragment outputs into their consumers.

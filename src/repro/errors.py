@@ -26,6 +26,15 @@ class PlanningError(ReproError):
     degradation ladder exhausted)."""
 
 
+class InfeasiblePlacementError(PlanningError):
+    """No operator placement satisfies the active resource constraint.
+
+    Raised by the constrained planners (see :mod:`repro.resources`) when
+    every candidate tree violates a node's utilization bound.  Derives
+    from :class:`PlanningError` so the resilience layer's parking path
+    treats an infeasible query like any other un-plannable one."""
+
+
 class CoordinatorUnreachable(PlanningError):
     """A planning coordinator could not be contacted (crash, outage
     window, or network partition).  Retryable."""

@@ -180,6 +180,15 @@ class FleetController:
             on purpose (recovery replays through the same shard code
             paths).  ``None`` (the default) keeps the fleet
             byte-identical to a build without the subsystem.
+        resources: Optional :class:`~repro.resources.ResourceConfig`
+            turning on fleet-wide resource-aware placement: one shared
+            :class:`~repro.resources.ResourceLedger` aggregates every
+            shard's deployments over the common physical network (view
+            reuse credited once, fleet-wide), each shard gets its own
+            :class:`~repro.resources.ResourceManager` over that ledger,
+            and query weights resolve through tenant weights so the
+            load shedder evicts light tenants' queries first.
+            ``None`` (the default) adds nothing.
     """
 
     def __init__(
@@ -200,6 +209,7 @@ class FleetController:
         service_kwargs: dict | None = None,
         telemetry=None,
         durability=None,
+        resources=None,
     ) -> None:
         if num_shards < 1:
             raise ReproError("a fleet needs at least one shard")
@@ -211,10 +221,34 @@ class FleetController:
                 "pass durability= to the FleetController itself, "
                 "not through service_kwargs"
             )
+        if service_kwargs and "resources" in service_kwargs:
+            # Per-shard private ledgers would each see only their own
+            # shard's load on the *shared* physical nodes; the fleet
+            # builds one shared ledger and a manager per shard itself.
+            raise ReproError(
+                "pass resources= to the FleetController itself, "
+                "not through service_kwargs"
+            )
         self.network = network
         self.rates = rates
         self.hierarchy = hierarchy
         self.clock = 0.0
+
+        # Resource layer (opt-in): one ledger shared by every shard so
+        # utilization on the common physical nodes is accounted once.
+        from repro.resources.ledger import ResourceLedger
+        from repro.resources.manager import ResourceConfig, ResourceManager
+
+        self._resources_config = resources
+        self.resource_ledger: ResourceLedger | None = None
+        self.resource_managers: list[ResourceManager] = []
+        if resources is not None:
+            if not isinstance(resources, ResourceConfig):
+                raise ReproError(
+                    "fleet resources= takes a ResourceConfig (shards share "
+                    "one ledger built from it)"
+                )
+            self.resource_ledger = ResourceLedger(resources.capacities)
 
         self.shards: list[StreamQueryService] = []
         for _ in range(num_shards):
@@ -225,6 +259,11 @@ class FleetController:
                 optimizer = make_optimizer(
                     algorithm, network, rates, hierarchy=hierarchy, ads=ads
                 )
+            manager = None
+            if self.resource_ledger is not None:
+                manager = ResourceManager(resources, ledger=self.resource_ledger)
+                manager.weight_fn = self._query_weight
+                self.resource_managers.append(manager)
             self.shards.append(
                 StreamQueryService(
                     optimizer,
@@ -238,6 +277,7 @@ class FleetController:
                         max_per_tick=max_per_tick,
                     ),
                     cache=PlanCache(cache_capacity),
+                    resources=manager,
                     **(service_kwargs or {}),
                 )
             )
@@ -297,6 +337,15 @@ class FleetController:
         self._imports_gauge = reg.gauge(
             "fleet_federation_imports", "Active cross-shard view imports."
         )
+        if self.resource_ledger is not None:
+            self._fleet_util_gauge = reg.gauge(
+                "fleet_resource_max_utilization",
+                "Utilization ratio of the hottest node, fleet-wide.",
+            )
+            self._fleet_parked_gauge = reg.gauge(
+                "fleet_resource_parked_queries",
+                "Queries parked for capacity across every shard.",
+            )
         self._tenant_instruments: dict[str, dict] = {}
         for tenant in directory:
             suffix = _metric_suffix(tenant.name)
@@ -366,6 +415,63 @@ class FleetController:
     def tenant_of(self, name: str) -> str | None:
         """Tenant a query was submitted under."""
         return self._tenant_of.get(name)
+
+    def _query_weight(self, name: str) -> float:
+        """Shedding weight of a query: its tenant's weight when known."""
+        tenant = self._tenant_of.get(name)
+        if tenant is not None:
+            record = self.tenants.get(tenant)
+            if record is not None:
+                return float(record.weight)
+        if self._resources_config is not None:
+            return float(self._resources_config.query_weights.get(name, 1.0))
+        return 1.0  # pragma: no cover - managers only call this when armed
+
+    # ------------------------------------------------------------------
+    # Resource layer
+    # ------------------------------------------------------------------
+    def hot_nodes(self, k: int = 3) -> list[tuple[int, float]]:
+        """The ``k`` most utilized physical nodes, fleet-wide.
+
+        Raises:
+            ReproError: The fleet has no resource layer.
+        """
+        if self.resource_ledger is None:
+            raise ReproError("fleet was built without resources=")
+        return self.resource_ledger.hot_nodes(k)
+
+    def queries_on(self, node: int) -> list[str]:
+        """Queries (any shard) with an operator on ``node``; feed these
+        to :meth:`rebalance` to drain a hot node.
+
+        Raises:
+            ReproError: The fleet has no resource layer.
+        """
+        if self.resource_ledger is None:
+            raise ReproError("fleet was built without resources=")
+        return self.resource_ledger.queries_on(node)
+
+    def resource_summary(self) -> dict:
+        """Fleet-wide resource snapshot (ledger + per-shard managers).
+
+        Raises:
+            ReproError: The fleet has no resource layer.
+        """
+        if self.resource_ledger is None:
+            raise ReproError("fleet was built without resources=")
+        return {
+            "ledger": self.resource_ledger.summary(),
+            "parked": sorted(
+                name for m in self.resource_managers for name in m.parked
+            ),
+            "shed_total": sum(m.shed_total for m in self.resource_managers),
+            "readmitted_total": sum(
+                m.readmitted_total for m in self.resource_managers
+            ),
+            "infeasible_total": sum(
+                m.infeasible_total for m in self.resource_managers
+            ),
+        }
 
     def check_invariants(self) -> list[str]:
         """Router/ownership violations (empty when healthy).
@@ -964,6 +1070,8 @@ class FleetController:
             summary["federation"] = self.federation.summary()
         if self.scheduler is not None:
             summary["tenants"] = self.tenant_summary()
+        if self.resource_ledger is not None:
+            summary["resources"] = self.resource_summary()
         return FleetReplayReport(
             decisions=decisions, ticks=ticks, wall_seconds=wall, summary=summary
         )
@@ -1027,6 +1135,8 @@ class FleetController:
             out["federation"] = self.federation.summary()
         if len(self.tenants):
             out["tenants"] = self.tenant_summary()
+        if self.resource_ledger is not None:
+            out["resources"] = self.resource_summary()
         return out
 
     # ------------------------------------------------------------------
@@ -1053,6 +1163,21 @@ class FleetController:
 
     def _record_gauges(self) -> None:
         now = self.clock
+        if self.resource_ledger is not None and len(self.tenants):
+            # The load shedder retires/re-admits queries outside the
+            # tick-report path the incremental tenant counters follow;
+            # reconcile them against ground truth.
+            counts = {t.name: 0 for t in self.tenants}
+            for name in self.live_queries:
+                tenant = self._tenant_of.get(name)
+                if tenant in counts:
+                    counts[tenant] += 1
+            for tenant, live in counts.items():
+                if self._tenant_live[tenant] != live:
+                    self._tenant_live[tenant] = live
+                    self._tenant_instruments[tenant]["live"].set(
+                        float(live), time=now
+                    )
         self._live_gauge.set(float(len(self.live_queries)), time=now)
         backlog = sum(s.admission.queue_depth for s in self.shards)
         if self.scheduler is not None:
@@ -1060,3 +1185,11 @@ class FleetController:
         self._queue_gauge.set(float(backlog), time=now)
         if self.federation is not None:
             self._imports_gauge.set(float(self.federation.active_imports), time=now)
+        if self.resource_ledger is not None:
+            self._fleet_util_gauge.set(
+                self.resource_ledger.max_utilization(), time=now
+            )
+            self._fleet_parked_gauge.set(
+                float(sum(len(m.parked) for m in self.resource_managers)),
+                time=now,
+            )

@@ -474,8 +474,11 @@ def default_rule_pack(
 
     Per scope: plan-cache hit rate collapse (with an admitted-queries
     warm-up guard), admission queue wait p95, breaker trips, migration
-    aborts and cutover failures (delta > 0), and a liveness absence
-    rule on the queue-depth gauge.  When ``tenant_weights`` maps tenant
+    aborts and cutover failures (delta > 0), a liveness absence rule on
+    the queue-depth gauge, and two capacity watchdogs (hottest-node
+    utilization above 95% with hysteresis, and load-shed events) that
+    only ever fire on resource-armed services.  When ``tenant_weights``
+    maps tenant
     gauge series (e.g. ``fleet.tenant_live_gold``) to weights, a
     fleet-level fairness-skew rule is added too.
     """
@@ -560,6 +563,33 @@ def default_rule_pack(
                 for_ticks=2.0,
                 severity="warn",
                 labels={"scope": scope, "slo": "liveness"},
+            )
+        )
+        # Resource hotspot: the hottest node sat above 95% of its bound
+        # for two consecutive ticks (hysteresis so one transient
+        # placement spike does not page).  Series only exists on
+        # resource-armed services; absent series never fire.
+        rules.append(
+            ThresholdRule(
+                f"{scope}:resource_hotspot",
+                s("resource_max_utilization"),
+                ">",
+                0.95,
+                for_ticks=2.0,
+                severity="page",
+                labels={"scope": scope, "slo": "capacity"},
+            )
+        )
+        rules.append(
+            ThresholdRule(
+                f"{scope}:resource_shedding",
+                s("resource_shed_total"),
+                ">",
+                0.0,
+                aggregate="delta",
+                window=3.0,
+                severity="warn",
+                labels={"scope": scope, "slo": "capacity"},
             )
         )
     if tenant_weights:

@@ -23,9 +23,10 @@ Cases (the ``quick`` subset is what CI runs):
   cache probes and ticks, samples per-tick wall clock.
 * ``fleet_churn`` -- the sharded fleet control plane under the same
   kind of churn across 3 shards with federation syncs on every tick.
-* ``telemetry_overhead`` / ``durability_overhead`` -- ``service_churn``
-  re-run with the telemetry pipeline (resp. the write-ahead journal)
-  armed; planner op counts must not move, wall samples price the
+* ``telemetry_overhead`` / ``durability_overhead`` /
+  ``resource_overhead`` -- ``service_churn`` re-run with the telemetry
+  pipeline (resp. the write-ahead journal, resp. the unbounded resource
+  layer) armed; planner op counts must not move, wall samples price the
   added machinery.
 """
 
@@ -264,6 +265,52 @@ def _case_durability_overhead() -> OpProfiler:
     return prof
 
 
+def _case_resource_overhead() -> OpProfiler:
+    """Service churn with the resource layer armed but unbounded.
+
+    With every capacity infinite the manager injects no constraint and
+    gates nothing, so its planner op counts (plans, probes, ticks) must
+    match ``service_churn`` exactly -- the case exists so the 25% gate
+    catches the resource layer ever leaking work into the planner path,
+    and its wall samples price the ledger/gauge bookkeeping.
+    """
+    from repro.core import make_optimizer
+    from repro.resources import ResourceConfig
+    from repro.service import AdmissionController, StreamQueryService
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    optimizer = make_optimizer("top-down", net, rates, hierarchy=hierarchy)
+    service = StreamQueryService(
+        optimizer,
+        net,
+        rates,
+        hierarchy=hierarchy,
+        admission=AdmissionController(budget=4, max_per_tick=2),
+        resources=ResourceConfig(),
+    )
+    with profiled() as prof:
+        for i, query in enumerate(workload):
+            service.submit(query, lifetime=4.0 + (i % 3))
+        for _ in range(30):
+            with prof.sample("resource_tick"):
+                service.tick()
+        from repro.query.query import Query
+
+        for query in list(workload)[:4]:
+            renamed = Query(
+                query.name + "_again",
+                sources=query.sources,
+                sink=query.sink,
+                predicates=query.predicates,
+                filters=query.filters,
+                window=query.window,
+            )
+            service.submit(renamed, lifetime=2.0)
+        for _ in range(10):
+            service.tick()
+    return prof
+
+
 CASES: dict[str, Callable[[], OpProfiler]] = {
     "plan_top_down": _case_plan_hierarchical("top-down"),
     "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
@@ -273,6 +320,7 @@ CASES: dict[str, Callable[[], OpProfiler]] = {
     "fleet_churn": _case_fleet_churn,
     "telemetry_overhead": _case_telemetry_overhead,
     "durability_overhead": _case_durability_overhead,
+    "resource_overhead": _case_resource_overhead,
 }
 
 #: The subset CI runs on every push (all of them -- the suite is sized

@@ -1,0 +1,145 @@
+"""The resource constraint the placement DP optimizes under.
+
+A :class:`PlacementConstraint` is built per ``plan()`` call from a
+snapshot of the ledger (background load per node, live operator keys for
+reuse credit) and prices one query's join operators:
+
+* **Feasibility mask** -- per join, per candidate node: would placing
+  this operator there push the node past ``bound x capacity`` given the
+  background load?  Infeasible candidates cost ``inf`` in the DP, so
+  whole subtrees route around hot nodes.
+* **Bi-criteria penalty** -- with ``load_weight > 0`` the DP objective
+  becomes ``communication cost + load_weight x projected utilization``
+  per operator, trading shipping cost against load spread even while
+  every node is still under its bound.
+* **Joint validation** -- the DP prices operators independently, so two
+  operators of the *same* query landing on one node could jointly
+  exceed what each passes alone.  :meth:`validate` re-checks the
+  complete placement with all of the query's operators summed per node
+  (and live operators credited once), which is the check the planners
+  and the admission gate both trust.
+
+The per-operator mask is therefore a pruning heuristic and the joint
+check is the contract: nothing a constrained planner returns ever
+violates the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.query.plan import Join, PlanNode
+from repro.query.query import Query
+from repro.resources.capacity import Load, NodeCapacity, UNBOUNDED, ZERO_LOAD
+from repro.resources.footprint import OperatorFootprint
+from repro.resources.ledger import plan_node_loads
+
+_EPS = 1e-9
+
+
+class PlacementConstraint:
+    """Capacity/bound pricing of one query's candidate placements.
+
+    Args:
+        query: The query being planned.
+        footprint: Estimator for its operators' loads.
+        capacities: ``{node: NodeCapacity}`` (missing = unbounded).
+        base_loads: Background load per node (ledger snapshot, this
+            query excluded).
+        live_keys: ``(signature, node)`` keys of operators already live
+            fleet-wide; matching operators of this plan are free
+            (reuse credit).
+        bound: Max allowed utilization ratio per node.
+        load_weight: Bi-criteria weight; 0 keeps the objective pure
+            communication cost subject to the bound.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        footprint: OperatorFootprint,
+        capacities: Mapping[int, NodeCapacity],
+        base_loads: Mapping[int, Load],
+        live_keys: frozenset = frozenset(),
+        bound: float = 1.0,
+        load_weight: float = 0.0,
+    ) -> None:
+        if bound <= 0:
+            raise ValueError("utilization bound must be positive")
+        if load_weight < 0:
+            raise ValueError("load_weight must be >= 0")
+        self.query = query
+        self.footprint = footprint
+        self.capacities = capacities
+        self.base_loads = base_loads
+        self.live_keys = frozenset(live_keys)
+        self.bound = bound
+        self.load_weight = load_weight
+        self._load_cache: dict[tuple[frozenset, frozenset], Load] = {}
+
+    # ------------------------------------------------------------------
+    def _join_load(self, sub: Join) -> Load:
+        key = (sub.left.sources, sub.right.sources)
+        load = self._load_cache.get(key)
+        if load is None:
+            load = self.footprint.join_load(
+                self.query, sub.left.sources, sub.right.sources
+            )
+            self._load_cache[key] = load
+        return load
+
+    def _capacity(self, node: int) -> NodeCapacity:
+        return self.capacities.get(node, UNBOUNDED)
+
+    def _projected(self, node: int, load: Load) -> float:
+        base = self.base_loads.get(node, ZERO_LOAD)
+        return (base + load).utilization(self._capacity(node))
+
+    # ------------------------------------------------------------------
+    # DP interface
+    # ------------------------------------------------------------------
+    def join_mask(self, sub: Join, candidates: np.ndarray) -> np.ndarray:
+        """Boolean feasibility of placing ``sub``'s operator per candidate."""
+        load = self._join_load(sub)
+        return np.fromiter(
+            (
+                self._projected(int(node), load) <= self.bound + _EPS
+                for node in candidates
+            ),
+            dtype=bool,
+            count=candidates.size,
+        )
+
+    def join_penalty(self, sub: Join, candidates: np.ndarray) -> np.ndarray | None:
+        """Bi-criteria penalty per candidate, or ``None`` when weight is 0."""
+        if self.load_weight == 0.0:
+            return None
+        load = self._join_load(sub)
+        return np.fromiter(
+            (
+                self.load_weight * self._projected(int(node), load)
+                for node in candidates
+            ),
+            dtype=float,
+            count=candidates.size,
+        )
+
+    # ------------------------------------------------------------------
+    # Joint checks
+    # ------------------------------------------------------------------
+    def added_loads(
+        self, plan: PlanNode, placement: Mapping[PlanNode, int]
+    ) -> dict[int, Load]:
+        """Per-node load the full placement adds, reuse credited."""
+        return plan_node_loads(
+            self.footprint, self.query, plan, placement, skip_keys=self.live_keys
+        )
+
+    def validate(self, plan: PlanNode, placement: Mapping[PlanNode, int]) -> bool:
+        """Whether the complete placement keeps every node under the bound."""
+        for node, load in self.added_loads(plan, placement).items():
+            if self._projected(node, load) > self.bound + _EPS:
+                return False
+        return True

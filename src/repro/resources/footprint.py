@@ -1,0 +1,74 @@
+"""Per-operator load estimation from the rate model.
+
+Follows the Benoit et al. formulation: an in-network join operator's
+computation demand is proportional to the tuple rate it ingests, its
+memory demand to the window state it holds, and its bandwidth demand to
+the traffic it moves (inputs in, output out).  All three derive from the
+same machinery the adaptive subsystem already maintains --
+:meth:`repro.core.cost.RateModel.rate_for` over the query's stream
+subsets -- so footprints automatically track published statistics
+updates (EWMA-driven re-estimates bump the model and the next estimate
+sees the new rates).
+
+Only *join* operators carry a footprint.  Base-stream leaves run at
+their sources regardless of planning (and leaf-side filters ride the
+source for free, matching the transport accounting in
+:mod:`repro.query.deployment`), and a reused-view leaf's producing
+operator was already charged by the query that deployed it -- which is
+exactly how shared operators end up credited once in the ledger.
+"""
+
+from __future__ import annotations
+
+from repro.query.plan import Join, PlanNode
+from repro.query.query import Query
+from repro.resources.capacity import Load
+
+
+class OperatorFootprint:
+    """Estimates the :class:`Load` of each join operator of a plan.
+
+    Args:
+        rates: The rate model (``rate_for(query, subset)``) loads derive
+            from.
+        bytes_per_tuple: State-size scale applied to the memory
+            dimension (same knob the migration planner uses to price
+            window-state transfers).
+    """
+
+    def __init__(self, rates, bytes_per_tuple: float = 1.0) -> None:
+        if bytes_per_tuple <= 0:
+            raise ValueError("bytes_per_tuple must be positive")
+        self.rates = rates
+        self.bytes_per_tuple = bytes_per_tuple
+
+    def join_load(
+        self,
+        query: Query,
+        left: frozenset[str],
+        right: frozenset[str],
+    ) -> Load:
+        """Load of the join combining ``left`` and ``right`` subsets.
+
+        * cpu -- total input tuple rate the operator must process;
+        * memory -- window state: input rate x the query's window x
+          ``bytes_per_tuple`` per side;
+        * bandwidth -- input plus output tuple rate through the node
+          (conservative: assumes no input is co-located).
+        """
+        in_left = self.rates.rate_for(query, left)
+        in_right = self.rates.rate_for(query, right)
+        out = self.rates.rate_for(query, left | right)
+        inputs = in_left + in_right
+        return Load(
+            cpu=inputs,
+            memory=inputs * query.window * self.bytes_per_tuple,
+            bandwidth=inputs + out,
+        )
+
+    def plan_loads(self, query: Query, plan: PlanNode) -> dict[Join, Load]:
+        """Load of every join operator of ``plan`` (leaves carry none)."""
+        return {
+            join: self.join_load(query, join.left.sources, join.right.sources)
+            for join in plan.joins()
+        }

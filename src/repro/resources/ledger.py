@@ -1,0 +1,235 @@
+"""Fleet-wide per-node utilization accounting.
+
+The :class:`ResourceLedger` answers "how loaded is node *n* right now,
+across every control plane deploying onto this network".  It does not
+keep incremental books: it *derives* node loads from the attached
+:class:`~repro.query.deployment.DeploymentState` instances (one per
+service shard) every time it is asked.  Deriving instead of mutating
+keeps the ledger trivially consistent with reality no matter how a
+deployment changed -- admission, retirement, live migration, node
+failover, crash recovery -- because the deployment state is always the
+single source of truth.
+
+Reuse is credited once: operator instances are identified by their
+``(view signature, node)`` key exactly as the deployment state keys
+them, so a view shared by five queries (locally or across shards via
+the federation's external records) is charged to its node exactly one
+time, by the deployment that owns it.  Reused-view *leaves* never carry
+load at all -- see :mod:`repro.resources.footprint`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.query.deployment import DeploymentState
+from repro.query.plan import Join
+from repro.resources.capacity import UNBOUNDED, Load, NodeCapacity, ZERO_LOAD
+from repro.resources.footprint import OperatorFootprint
+
+
+class ResourceLedger:
+    """Per-node utilization across every attached deployment state.
+
+    Args:
+        capacities: ``{node: NodeCapacity}``; missing nodes (or a
+            ``None`` mapping) are unbounded.
+    """
+
+    def __init__(self, capacities: Mapping[int, NodeCapacity] | None = None) -> None:
+        self.capacities: dict[int, NodeCapacity] = dict(capacities or {})
+        self._sources: list[tuple[DeploymentState, OperatorFootprint]] = []
+        # (signature, node) -> (query, left sources, right sources,
+        # footprint): remembers each operator's join structure so an
+        # operator that outlives its owning deployment (owner retired,
+        # reusers remain) keeps being charged at current rates.
+        self._op_structs: dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, state: DeploymentState, footprint: OperatorFootprint) -> None:
+        """Track a deployment state's operators (idempotent)."""
+        for existing, _ in self._sources:
+            if existing is state:
+                return
+        self._sources.append((state, footprint))
+
+    def detach(self, state: DeploymentState) -> None:
+        """Stop tracking a deployment state."""
+        self._sources = [(s, f) for (s, f) in self._sources if s is not state]
+
+    @property
+    def constrained(self) -> bool:
+        """Whether any node has a finite capacity in any dimension."""
+        return any(not cap.unbounded for cap in self.capacities.values())
+
+    def capacity(self, node: int) -> NodeCapacity:
+        """The node's capacity (unbounded when unconfigured)."""
+        return self.capacities.get(node, UNBOUNDED)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def operator_keys(self) -> set[tuple]:
+        """Live ``(signature, node)`` operator keys across all sources."""
+        keys: set[tuple] = set()
+        for state, _ in self._sources:
+            keys.update(state.operators())
+        return keys
+
+    def node_loads(self) -> dict[int, Load]:
+        """Current load per node, shared operators charged once.
+
+        Walks every attached state's deployments in application order
+        and charges each distinct ``(signature, node)`` join operator
+        the first time it is seen -- the deployment that owns the
+        operator prices it, reusers ride free.
+        """
+        loads: dict[int, Load] = {}
+        seen: set[tuple] = set()
+        for state, footprint in self._sources:
+            for deployment in state.deployments:
+                query = deployment.query
+                for join in deployment.plan.joins():
+                    node = deployment.placement[join]
+                    key = (query.view_signature(join.sources), node)
+                    self._op_structs[key] = (
+                        query,
+                        join.left.sources,
+                        join.right.sources,
+                        footprint,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    load = footprint.join_load(
+                        query, join.left.sources, join.right.sources
+                    )
+                    loads[node] = loads.get(node, ZERO_LOAD) + load
+        # Operators that outlived their owning deployment: the record is
+        # still live (reusers keep it running) but no deployment's plan
+        # walks it anymore.  Charge them from the remembered structure.
+        live = self.operator_keys()
+        for key in live - seen:
+            struct = self._op_structs.get(key)
+            if struct is None:
+                # Never saw the owner (e.g. filter-only view operators,
+                # which carry no join load anyway).
+                continue
+            query, left, right, footprint = struct
+            node = key[1]
+            loads[node] = loads.get(node, ZERO_LOAD) + footprint.join_load(
+                query, left, right
+            )
+        self._op_structs = {
+            k: v for k, v in self._op_structs.items() if k in live
+        }
+        return loads
+
+    def load(self, node: int) -> Load:
+        """Current load of one node."""
+        return self.node_loads().get(node, ZERO_LOAD)
+
+    def utilizations(self) -> dict[int, float]:
+        """Utilization ratio of every node with a capacity or a load."""
+        loads = self.node_loads()
+        nodes = set(self.capacities) | set(loads)
+        return {
+            node: loads.get(node, ZERO_LOAD).utilization(self.capacity(node))
+            for node in sorted(nodes)
+        }
+
+    def utilization(self, node: int) -> float:
+        """Utilization ratio of one node (0 when unbounded)."""
+        return self.load(node).utilization(self.capacity(node))
+
+    def max_utilization(self) -> float:
+        """The hottest node's utilization ratio (0 on an empty fleet)."""
+        utils = self.utilizations()
+        return max(utils.values()) if utils else 0.0
+
+    def violations(
+        self,
+        bound: float = 1.0,
+        extra: Mapping[int, Load] | None = None,
+    ) -> list[tuple[int, float]]:
+        """Nodes exceeding ``bound``, optionally with ``extra`` load added.
+
+        Returns ``[(node, projected_utilization), ...]`` sorted hottest
+        first; empty means the (projected) fleet is feasible.
+        """
+        loads = self.node_loads()
+        if extra:
+            for node, load in extra.items():
+                loads[node] = loads.get(node, ZERO_LOAD) + load
+        out = [
+            (node, util)
+            for node in set(self.capacities) | set(loads)
+            if (util := loads.get(node, ZERO_LOAD).utilization(self.capacity(node)))
+            > bound + 1e-9
+        ]
+        return sorted(out, key=lambda item: (-item[1], item[0]))
+
+    def hot_nodes(self, k: int = 3) -> list[tuple[int, float]]:
+        """The ``k`` hottest nodes as ``(node, utilization)``, descending."""
+        ranked = sorted(self.utilizations().items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[: max(0, k)]
+
+    def queries_on(self, node: int) -> list[str]:
+        """Names of queries with a join operator placed on ``node``."""
+        names: list[str] = []
+        for state, _ in self._sources:
+            for deployment in state.deployments:
+                if any(
+                    deployment.placement[j] == node
+                    for j in deployment.plan.joins()
+                ) and deployment.query.name not in names:
+                    names.append(deployment.query.name)
+        return names
+
+    def summary(self, top: int = 5) -> dict:
+        """JSON-able snapshot for reports and the CLI."""
+        utils = self.utilizations()
+        return {
+            "nodes_tracked": len(utils),
+            "constrained": self.constrained,
+            "max_utilization": max(utils.values()) if utils else 0.0,
+            "mean_utilization": (
+                sum(utils.values()) / len(utils) if utils else 0.0
+            ),
+            "hot_nodes": [
+                {"node": node, "utilization": util}
+                for node, util in self.hot_nodes(top)
+            ],
+            "overloaded": [
+                {"node": node, "utilization": util}
+                for node, util in self.violations()
+            ],
+        }
+
+
+def plan_node_loads(
+    footprint: OperatorFootprint,
+    query,
+    plan,
+    placement: Mapping,
+    skip_keys: Iterable[tuple] = (),
+) -> dict[int, Load]:
+    """Per-node load a deployment would *add*, reuse credited.
+
+    Join operators whose ``(signature, node)`` key appears in
+    ``skip_keys`` (already live somewhere in the fleet) add nothing --
+    the admission gate and the planners' joint-feasibility check both
+    use this to price a candidate placement against the ledger.
+    """
+    skip = set(skip_keys)
+    out: dict[int, Load] = {}
+    for join in plan.joins():
+        assert isinstance(join, Join)
+        node = placement[join]
+        if (query.view_signature(join.sources), node) in skip:
+            continue
+        load = footprint.join_load(query, join.left.sources, join.right.sources)
+        out[node] = out.get(node, ZERO_LOAD) + load
+    return out

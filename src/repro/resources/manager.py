@@ -1,0 +1,447 @@
+"""The resource layer's service-facing orchestrator.
+
+:class:`ResourceManager` is the object a
+:class:`~repro.service.service.StreamQueryService` (or each shard of a
+fleet) is armed with.  It owns the glue between the pieces:
+
+* builds the :class:`~repro.resources.footprint.OperatorFootprint` over
+  the service's rate model and attaches the service's deployment state
+  to the (possibly fleet-shared) ledger;
+* hands the planners a per-query
+  :class:`~repro.resources.constraint.PlacementConstraint` snapshot;
+* gates every deployment (the authoritative joint feasibility check),
+  re-planning once when a cached plan went stale against the current
+  load, shedding lighter queries when configured, and parking the
+  query when nothing helps;
+* re-admits parked queries heaviest-first once capacity recovers;
+* keeps the ``resource_*`` instruments (per-node utilization gauges,
+  shed/readmit/infeasible counters) in the service registry.
+
+Like every optional layer in this codebase, none of this exists unless
+the service was constructed with it, and with all capacities unbounded
+the manager injects no constraint and rejects nothing -- planner and
+service behavior stay byte-identical to a build without the package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import InfeasiblePlacementError, PlanningError
+from repro.query.query import Query
+from repro.resources.capacity import Load, NodeCapacity, ZERO_LOAD
+from repro.resources.constraint import PlacementConstraint
+from repro.resources.footprint import OperatorFootprint
+from repro.resources.ledger import ResourceLedger, plan_node_loads
+from repro.resources.shedder import LoadShedder, ParkedQuery
+
+
+@dataclass
+class ResourceConfig:
+    """Tuning of the resource layer.
+
+    Attributes:
+        capacities: ``{node: NodeCapacity}``; ``None`` (or all-infinite
+            entries) leaves the whole layer passive.
+        utilization_bound: Max allowed per-node utilization ratio; 1.0
+            means "up to capacity".
+        load_weight: Bi-criteria weight: the planners minimize
+            ``communication cost + load_weight x projected utilization``
+            per operator.  0 (the default) optimizes pure communication
+            cost subject to the bound.
+        bytes_per_tuple: Memory-dimension scale of operator state.
+        shed: Evict strictly lighter live queries when an admitted
+            query has no feasible placement (they park and re-admit).
+        max_shed_per_admit: Victim cap per admission attempt.
+        max_readmits_per_tick: Parked-query re-admission attempts per
+            tick.
+        query_weights: Static ``{query name: weight}`` (default weight
+            1.0).  Fleets override per-query weighting dynamically via
+            :attr:`ResourceManager.weight_fn` (tenant weights).
+    """
+
+    capacities: Mapping[int, NodeCapacity] | None = None
+    utilization_bound: float = 1.0
+    load_weight: float = 0.0
+    bytes_per_tuple: float = 1.0
+    shed: bool = True
+    max_shed_per_admit: int = 4
+    max_readmits_per_tick: int = 2
+    query_weights: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.utilization_bound <= 0:
+            raise ValueError("utilization_bound must be positive")
+        if self.load_weight < 0:
+            raise ValueError("load_weight must be >= 0")
+        if self.max_readmits_per_tick < 1:
+            raise ValueError("max_readmits_per_tick must be >= 1")
+
+
+class ResourceManager:
+    """One service's resource-awareness: constraint, gate, shed, park.
+
+    Args:
+        config: The layer's tuning.
+        ledger: Optional pre-built (fleet-shared) ledger; by default a
+            private one over ``config.capacities``.
+    """
+
+    def __init__(
+        self, config: ResourceConfig, ledger: ResourceLedger | None = None
+    ) -> None:
+        self.config = config
+        self.ledger = ledger if ledger is not None else ResourceLedger(config.capacities)
+        self.shedder = LoadShedder(max_victims=config.max_shed_per_admit)
+        self.footprint: OperatorFootprint | None = None
+        self.service = None
+        #: Dynamic weight override (fleets wire tenant weights here).
+        self.weight_fn: Callable[[str], float] | None = None
+        self.parked: dict[str, ParkedQuery] = {}
+        self._relief: Mapping[int, Load] | None = None
+        self.shed_total = 0
+        self.readmitted_total = 0
+        self.infeasible_total = 0
+        self._node_gauges: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def constrained(self) -> bool:
+        """Whether any node capacity is finite (the layer is active)."""
+        return self.ledger.constrained
+
+    def weight_of(self, name: str) -> float:
+        """Scheduling weight of a query (default 1.0)."""
+        if self.weight_fn is not None:
+            return float(self.weight_fn(name))
+        return float(self.config.query_weights.get(name, 1.0))
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_service(self, service) -> None:
+        """Attach to a service: state -> ledger, planner, instruments."""
+        if self.service is not None and self.service is not service:
+            raise ValueError("a ResourceManager binds to exactly one service")
+        self.service = service
+        self.footprint = OperatorFootprint(
+            service.rates, bytes_per_tuple=self.config.bytes_per_tuple
+        )
+        self.ledger.attach(service.engine.state, self.footprint)
+        optimizer = service.optimizer
+        if getattr(optimizer, "resources", None) is None:
+            try:
+                optimizer.resources = self
+            except AttributeError:  # pragma: no cover - exotic planners
+                pass
+        reg = service.registry
+        self._max_gauge = reg.gauge(
+            "resource_max_utilization",
+            "Utilization ratio of the hottest node (load / bounded capacity).",
+        )
+        self._parked_gauge = reg.gauge(
+            "resource_parked_queries",
+            "Queries parked waiting for capacity to recover.",
+        )
+        self._shed_counter = reg.counter(
+            "resource_shed_total", "Live queries evicted by the load shedder."
+        )
+        self._readmitted_counter = reg.counter(
+            "resource_readmitted_total",
+            "Parked queries re-admitted after capacity recovered.",
+        )
+        self._infeasible_counter = reg.counter(
+            "resource_infeasible_total",
+            "Deployments refused because no feasible placement exists.",
+        )
+        for node in service.network.nodes():
+            self._node_gauges[node] = reg.gauge(
+                f"resource_node_utilization_n{node}",
+                f"Utilization ratio of node {node}.",
+            )
+
+    # ------------------------------------------------------------------
+    # Planner interface
+    # ------------------------------------------------------------------
+    def constraint_for(self, query: Query) -> PlacementConstraint | None:
+        """The constraint a planner should optimize ``query`` under."""
+        if not self.constrained or self.footprint is None:
+            return None
+        base = self.ledger.node_loads()
+        if self._relief:
+            # Trial planning during shed selection: price the plan as if
+            # the candidate victims were already gone.
+            for node, load in self._relief.items():
+                base[node] = base.get(node, ZERO_LOAD) + load.scaled(-1.0)
+        return PlacementConstraint(
+            query=query,
+            footprint=self.footprint,
+            capacities=self.ledger.capacities,
+            base_loads=base,
+            live_keys=frozenset(self.ledger.operator_keys()),
+            bound=self.config.utilization_bound,
+            load_weight=self.config.load_weight,
+        )
+
+    def plan_feasible(self, service, query: Query):
+        """Plan ``query`` under the live constraint, shedding if needed.
+
+        When the constrained planner finds no feasible placement and
+        shedding is on, strictly lighter live queries are evicted
+        (lightest first, then newest) until a trial plan succeeds, then
+        the query is planned for real against the freed capacity.
+        Raises :class:`InfeasiblePlacementError` when no admissible set
+        of victims helps.
+        """
+        try:
+            deployment, _hit = service.plan(query)
+            return deployment
+        except InfeasiblePlacementError:
+            if not (self.config.shed and self.constrained):
+                raise
+
+        def feasible_with(freed: Mapping[int, Load]) -> bool:
+            self._relief = freed
+            try:
+                service.plan(query)
+                return True
+            except InfeasiblePlacementError:
+                return False
+            finally:
+                self._relief = None
+
+        plan = self.shedder.plan_shed(
+            service.engine.state,
+            self.footprint,
+            self.weight_of(query.name),
+            self.weight_of,
+            feasible_with,
+            protect=frozenset({query.name}),
+        )
+        if plan is None:
+            self.infeasible_total += 1
+            raise InfeasiblePlacementError(
+                f"no feasible placement for {query.name!r} under utilization "
+                f"bound {self.config.utilization_bound}, and no admissible "
+                f"victims to shed"
+            )
+        for victim in plan.victims:
+            self.shed(service, victim, displaced_by=query.name)
+        deployment, _hit = service.plan(query)
+        return deployment
+
+    # ------------------------------------------------------------------
+    # Admission gate
+    # ------------------------------------------------------------------
+    def check(self, query: Query, deployment) -> list[tuple[int, float]]:
+        """Projected bound violations of installing ``deployment`` now."""
+        assert self.footprint is not None
+        extra = plan_node_loads(
+            self.footprint,
+            query,
+            deployment.plan,
+            deployment.placement,
+            skip_keys=self.ledger.operator_keys(),
+        )
+        return self.ledger.violations(self.config.utilization_bound, extra)
+
+    def gate(self, service, query: Query, deployment):
+        """Authoritative pre-deploy feasibility gate.
+
+        Returns a (possibly re-planned) feasible deployment, shedding
+        strictly lighter queries when allowed, or raises
+        :class:`InfeasiblePlacementError` -- a ``PlanningError``, so the
+        resilience layer's parking path applies when present.
+        """
+        if not self.constrained:
+            return deployment
+        violations = self.check(query, deployment)
+        if violations and deployment.stats.get("plan_cache") == "hit":
+            # The cached placement was priced under an older background
+            # load; evict it and let the constrained planner try fresh.
+            from repro.service.fingerprint import query_fingerprint
+
+            key = service.cache.key(
+                query_fingerprint(query),
+                service.statistics_epoch,
+                service.topology_epoch,
+            )
+            service.cache.demote(key)
+            deployment, _ = service.plan(query)
+            violations = self.check(query, deployment)
+        if violations and self.config.shed:
+            added = plan_node_loads(
+                self.footprint,
+                query,
+                deployment.plan,
+                deployment.placement,
+                skip_keys=self.ledger.operator_keys(),
+            )
+
+            def feasible_with(freed: Mapping[int, Load]) -> bool:
+                extra = dict(added)
+                for node, load in freed.items():
+                    extra[node] = extra.get(node, ZERO_LOAD) + load.scaled(-1.0)
+                return not self.ledger.violations(
+                    self.config.utilization_bound, extra
+                )
+
+            plan = self.shedder.plan_shed(
+                service.engine.state,
+                self.footprint,
+                self.weight_of(query.name),
+                self.weight_of,
+                feasible_with,
+                protect=frozenset({query.name}),
+            )
+            if plan is not None:
+                for victim in plan.victims:
+                    self.shed(service, victim, displaced_by=query.name)
+                violations = self.check(query, deployment)
+        if violations:
+            self.infeasible_total += 1
+            hottest = ", ".join(
+                f"node {node} at {util:.2f}" for node, util in violations[:3]
+            )
+            raise InfeasiblePlacementError(
+                f"no feasible placement for {query.name!r} under utilization "
+                f"bound {self.config.utilization_bound} ({hottest})"
+            )
+        return deployment
+
+    # ------------------------------------------------------------------
+    # Shedding / parking
+    # ------------------------------------------------------------------
+    def shed(self, service, name: str, displaced_by: str) -> None:
+        """Evict a live query and park it for later re-admission."""
+        expiry = service._expiry.get(name)
+        remaining = None if expiry is None else max(1.0, expiry - service.clock)
+        victim = next(
+            d.query for d in service.engine.state.deployments if d.query.name == name
+        )
+        service._retire_live(name)
+        self.parked[name] = ParkedQuery(
+            query=victim,
+            lifetime=remaining,
+            weight=self.weight_of(name),
+            reason=f"shed for {displaced_by!r}",
+            parked_at=service.clock,
+            shed=True,
+        )
+        self.shed_total += 1
+
+    def park(self, service, query: Query, lifetime: float | None, reason: str) -> None:
+        """Park an admitted-but-unplaceable query until capacity recovers."""
+        self.parked[query.name] = ParkedQuery(
+            query=query,
+            lifetime=lifetime,
+            weight=self.weight_of(query.name),
+            reason=reason,
+            parked_at=service.clock,
+        )
+
+    def unpark(self, name: str) -> bool:
+        """Drop a parked query (explicit retirement); True if it was parked."""
+        return self.parked.pop(name, None) is not None
+
+    def repair(self, service) -> list[str]:
+        """Shed queries off nodes driven over the bound by rate drift.
+
+        Deployments are priced at admission time; when statistics drift
+        upward the *live* fleet can exceed the bound with no admission
+        to trigger the gate.  Each tick the lightest occupant of the
+        hottest violating node is shed (it re-plans onto cooler nodes at
+        re-admission, or stays parked) until the fleet fits again.
+        """
+        if not (self.constrained and self.config.shed):
+            return []
+        shed: list[str] = []
+        for _ in range(self.config.max_shed_per_admit):
+            violations = self.ledger.violations(self.config.utilization_bound)
+            if not violations:
+                break
+            hottest = violations[0][0]
+            occupants = [
+                name
+                for name in self.ledger.queries_on(hottest)
+                if name not in self.parked
+            ]
+            if not occupants:
+                break
+            victim = min(occupants, key=lambda n: (self.weight_of(n), n))
+            self.shed(service, victim, displaced_by="drift repair")
+            shed.append(victim)
+        return shed
+
+    def step(self, service, now: float) -> list[str]:
+        """Repair drift violations, then try re-admitting parked queries,
+        heaviest first; returns names deployed this tick."""
+        self.repair(service)
+        if not self.parked:
+            return []
+        order = sorted(
+            self.parked.values(),
+            key=lambda p: (-p.weight, p.parked_at, p.query.name),
+        )
+        deployed: list[str] = []
+        for entry in order[: self.config.max_readmits_per_tick]:
+            try:
+                service._deploy(entry.query, entry.lifetime)
+            except PlanningError:
+                continue
+            del self.parked[entry.query.name]
+            self.readmitted_total += 1
+            deployed.append(entry.query.name)
+        return deployed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def record_gauges(self, service) -> None:
+        """Refresh the ``resource_*`` gauges and counters."""
+        now = service.clock
+        utils = self.ledger.utilizations()
+        peak = 0.0
+        for node, gauge in self._node_gauges.items():
+            util = utils.get(node, 0.0)
+            peak = max(peak, util)
+            gauge.set(util, time=now)
+        self._max_gauge.set(peak, time=now)
+        self._parked_gauge.set(float(len(self.parked)), time=now)
+        self._shed_counter.sync_total(float(self.shed_total), time=now)
+        self._readmitted_counter.sync_total(float(self.readmitted_total), time=now)
+        self._infeasible_counter.sync_total(float(self.infeasible_total), time=now)
+
+    def summary(self) -> dict:
+        """JSON-able layer summary for replay reports and the CLI."""
+        return {
+            "constrained": self.constrained,
+            "utilization_bound": self.config.utilization_bound,
+            "load_weight": self.config.load_weight,
+            "parked": sorted(self.parked),
+            "shed_total": self.shed_total,
+            "readmitted_total": self.readmitted_total,
+            "infeasible_total": self.infeasible_total,
+            "ledger": self.ledger.summary(),
+        }
+
+
+def ensure_resources(
+    value: "ResourceConfig | ResourceManager | None",
+) -> ResourceManager | None:
+    """Normalize the service/fleet constructor argument.
+
+    ``None`` stays ``None`` (the layer does not exist), a config builds
+    a fresh manager, a prebuilt manager passes through.
+    """
+    if value is None:
+        return None
+    if isinstance(value, ResourceManager):
+        return value
+    if isinstance(value, ResourceConfig):
+        return ResourceManager(value)
+    raise TypeError(
+        f"resources must be a ResourceConfig, ResourceManager or None, "
+        f"got {type(value).__name__}"
+    )

@@ -41,7 +41,12 @@ from typing import Iterable, Sequence
 from repro.adaptive.loop import AdaptivityConfig, AdaptivityLoop
 from repro.core.cost import RateModel
 from repro.core.optimizer import Optimizer
-from repro.errors import HierarchyError, PlanningError, UnknownQueryError
+from repro.errors import (
+    HierarchyError,
+    InfeasiblePlacementError,
+    PlanningError,
+    UnknownQueryError,
+)
 from repro.hierarchy.advertisements import AdvertisementIndex
 from repro.hierarchy.hierarchy import Hierarchy
 from repro.network.graph import Network
@@ -189,6 +194,18 @@ class StreamQueryService:
             journal, state directory or instruments exist and behavior
             is byte-identical to a build without the subsystem (same
             contract as the other optional layers).
+        resources: Optional :class:`~repro.resources.ResourceConfig`
+            (or prebuilt :class:`~repro.resources.ResourceManager`)
+            turning on resource-aware placement: node capacities feed a
+            utilization-bounded (or bi-criteria) planner constraint,
+            every deployment passes a joint feasibility gate against
+            the live ledger, queries with no feasible placement shed
+            strictly lighter live queries or park until capacity
+            recovers, and per-node ``resource_*`` utilization gauges
+            land in the registry.  With ``None`` (the default) no
+            ledger, gate or instruments exist; even when armed,
+            all-unbounded capacities leave planning and admission
+            byte-identical to a build without the subsystem.
     """
 
     def __init__(
@@ -209,6 +226,7 @@ class StreamQueryService:
         causal=None,
         telemetry=None,
         durability=None,
+        resources=None,
     ) -> None:
         self.optimizer = optimizer
         self.rates = rates
@@ -322,6 +340,14 @@ class StreamQueryService:
             self.durability.bind_service(self)
             if self.adaptivity is not None and self.adaptivity.migrator is not None:
                 self.adaptivity.migrator.durability = self.durability
+
+        # Resource layer, same contract: ledger, admission gate, shedder
+        # and the resource_* instruments exist only when asked for.
+        from repro.resources.manager import ensure_resources
+
+        self.resources = ensure_resources(resources)
+        if self.resources is not None:
+            self.resources.bind_service(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -442,25 +468,40 @@ class StreamQueryService:
                         query, len(self._live_names()), time=self.clock
                     )
                     if decision.status is AdmissionStatus.ADMITTED:
-                        if self.resilience is not None:
-                            try:
-                                self._deploy(query, lifetime)
-                            except PlanningError as exc:
-                                self.resilience.park(self, query, lifetime, str(exc))
-                                if self.durability is not None:
-                                    self.durability.marker(
-                                        "park",
-                                        self.clock,
-                                        {"query": query.name, "reason": str(exc)},
-                                    )
-                                decision = AdmissionDecision(
-                                    query=query.name,
-                                    status=AdmissionStatus.QUEUED,
-                                    reason=f"parked: {exc}",
-                                )
-                                span.incr("parked")
-                        else:
+                        try:
                             self._deploy(query, lifetime)
+                        except InfeasiblePlacementError as exc:
+                            if self.resources is None:
+                                raise
+                            self.resources.park(self, query, lifetime, str(exc))
+                            if self.durability is not None:
+                                self.durability.marker(
+                                    "park",
+                                    self.clock,
+                                    {"query": query.name, "reason": str(exc)},
+                                )
+                            decision = AdmissionDecision(
+                                query=query.name,
+                                status=AdmissionStatus.QUEUED,
+                                reason=f"parked: {exc}",
+                            )
+                            span.incr("parked")
+                        except PlanningError as exc:
+                            if self.resilience is None:
+                                raise
+                            self.resilience.park(self, query, lifetime, str(exc))
+                            if self.durability is not None:
+                                self.durability.marker(
+                                    "park",
+                                    self.clock,
+                                    {"query": query.name, "reason": str(exc)},
+                                )
+                            decision = AdmissionDecision(
+                                query=query.name,
+                                status=AdmissionStatus.QUEUED,
+                                reason=f"parked: {exc}",
+                            )
+                            span.incr("parked")
                     elif decision.status is AdmissionStatus.QUEUED:
                         self._pending_lifetimes[query.name] = lifetime
                 span.tag(decision=decision.status.value)
@@ -557,25 +598,38 @@ class StreamQueryService:
 
         for query in self.admission.drain(len(self._live_names()), time=now):
             lifetime = self._pending_lifetimes.pop(query.name, None)
-            if self.resilience is not None:
-                try:
-                    self._deploy(query, lifetime)
-                except PlanningError as exc:
-                    self.resilience.park(self, query, lifetime, str(exc))
-                    if self.durability is not None:
-                        self.durability.marker(
-                            "park",
-                            now,
-                            {"query": query.name, "reason": str(exc)},
-                        )
-                    report.parked.append(query.name)
-                    continue
-            else:
+            try:
                 self._deploy(query, lifetime)
+            except InfeasiblePlacementError as exc:
+                if self.resources is None:
+                    raise
+                self.resources.park(self, query, lifetime, str(exc))
+                if self.durability is not None:
+                    self.durability.marker(
+                        "park",
+                        now,
+                        {"query": query.name, "reason": str(exc)},
+                    )
+                report.parked.append(query.name)
+                continue
+            except PlanningError as exc:
+                if self.resilience is None:
+                    raise
+                self.resilience.park(self, query, lifetime, str(exc))
+                if self.durability is not None:
+                    self.durability.marker(
+                        "park",
+                        now,
+                        {"query": query.name, "reason": str(exc)},
+                    )
+                report.parked.append(query.name)
+                continue
             report.deployed.append(query.name)
 
         if self.resilience is not None:
             self.resilience.readmit_parked(self, report.deployed)
+        if self.resources is not None:
+            report.deployed.extend(self.resources.step(self, now))
         if self.adaptivity is not None:
             adaptive = self.adaptivity.step(self, now)
             if adaptive.drift is not None:
@@ -590,7 +644,7 @@ class StreamQueryService:
         """Retire a query by name (deployed or still queued).
 
         Returns ``True`` if it was deployed, ``False`` if only queued
-        (or parked by the resilience layer).
+        (or parked by the resilience or resource layer).
 
         Raises:
             UnknownQueryError: The name is neither deployed, queued nor
@@ -606,6 +660,9 @@ class StreamQueryService:
                 self._record_gauges()
                 return False
             if self.resilience is not None and self.resilience.unpark(name):
+                self._record_gauges()
+                return False
+            if self.resources is not None and self.resources.unpark(name):
                 self._record_gauges()
                 return False
             if not self.is_live(name):
@@ -899,6 +956,8 @@ class StreamQueryService:
             report.summary["faults"] = self.faults.summary()
         if self.adaptivity is not None:
             report.summary["adaptivity"] = self.adaptivity.summary()
+        if self.resources is not None:
+            report.summary["resources"] = self.resources.summary()
         return report
 
     # ------------------------------------------------------------------
@@ -910,8 +969,14 @@ class StreamQueryService:
     def _deploy(self, query: Query, lifetime: float | None) -> None:
         if self.resilience is not None:
             deployment = self.resilience.plan(self, query)
+        elif self.resources is not None:
+            # The manager's planning path sheds lighter queries when the
+            # constrained planner finds nothing feasible.
+            deployment = self.resources.plan_feasible(self, query)
         else:
             deployment, _hit = self.plan(query)
+        if self.resources is not None:
+            deployment = self.resources.gate(self, query, deployment)
         self.engine.deploy(deployment, time=self.clock)
         if self.ads is not None:
             self.ads.sync_from_state(self.engine.state)
@@ -945,6 +1010,8 @@ class StreamQueryService:
         self._rejected_counter.sync_total(
             float(self.admission.rejected_total), time=now
         )
+        if self.resources is not None:
+            self.resources.record_gauges(self)
 
 
 def churn_trace(

@@ -8,9 +8,12 @@
   (the precondition for operator reuse).
 * :mod:`repro.workload.scenarios` -- named scenarios, most notably the
   Delta-style airline Operational Information System of Section 1.1.
+* :mod:`repro.workload.profiles` -- seeded node-capacity generators
+  (the supply side) for the resource layer's experiments.
 """
 
 from repro.workload.generator import Workload, WorkloadParams, generate_workload
+from repro.workload.profiles import HeterogeneousFleetProfile, HotspotProfile
 from repro.workload.scenarios import (
     DriftTimeline,
     MonitoringScenario,
@@ -33,6 +36,8 @@ __all__ = [
     "Workload",
     "WorkloadParams",
     "generate_workload",
+    "HotspotProfile",
+    "HeterogeneousFleetProfile",
     "OisScenario",
     "airline_ois_scenario",
     "MonitoringScenario",

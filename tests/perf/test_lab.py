@@ -81,6 +81,17 @@ class TestDurabilityOverhead:
         assert durable["snapshots"] > 0
 
 
+class TestResourceOverhead:
+    def test_unbounded_layer_never_leaks_work_into_the_planner(self):
+        """resource_overhead must do the exact planner work of
+        service_churn -- with all capacities infinite the manager
+        injects no constraint and gates nothing."""
+        lab = PerfLab(cases=["service_churn", "resource_overhead"], repeats=1)
+        churn = lab.run_case("service_churn")["ops"]
+        armed = lab.run_case("resource_overhead")["ops"]
+        assert armed == churn
+
+
 class TestTrajectoryIO:
     def test_load_initializes_missing_file(self, tmp_path):
         doc = load_trajectory(tmp_path / "BENCH_trajectory.json")

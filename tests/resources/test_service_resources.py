@@ -1,0 +1,255 @@
+"""Capacity-bounded service behavior: park, shed, re-admit, and the
+fleet-feasibility property (no accepted placement ever exceeds its
+bound -- even under statistics drift)."""
+
+import pytest
+
+import repro
+from repro.errors import InfeasiblePlacementError
+from repro.resources import ResourceConfig, uniform_capacities
+from repro.service import AdmissionStatus, StreamQueryService, churn_trace
+
+#: comfortable headroom for ~7 of the 8 workload queries on this net
+_CAPS = dict(cpu=600.0, memory=400.0, bandwidth=800.0)
+
+
+def build_service(resources, seed=47, num_queries=8):
+    net = repro.transit_stub_by_size(32, seed=seed)
+    hierarchy = repro.build_hierarchy(net, max_cs=4, seed=0)
+    workload = repro.generate_workload(
+        net,
+        repro.WorkloadParams(
+            num_streams=6, num_queries=num_queries, joins_per_query=(1, 3)
+        ),
+        seed=seed + 1,
+    )
+    rates = workload.rate_model()
+    ads = repro.AdvertisementIndex(hierarchy)
+    optimizer = repro.TopDownOptimizer(hierarchy, rates, ads=ads)
+    service = StreamQueryService(
+        optimizer, net, rates, hierarchy=hierarchy, ads=ads, resources=resources
+    )
+    return service, workload, net
+
+
+def bounded_config(net, **overrides):
+    return ResourceConfig(
+        capacities=uniform_capacities(net, **_CAPS), **overrides
+    )
+
+
+def assert_feasible(service):
+    bound = service.resources.config.utilization_bound
+    assert service.resources.ledger.violations(bound) == []
+
+
+class TestParkAndReadmit:
+    def test_infeasible_query_parks_then_readmits_on_recovery(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(bounded_config(net))
+        queries = list(workload)
+        parked = []
+        for i, query in enumerate(queries):
+            decision = service.submit(query, lifetime=100.0, time=float(i))
+            if decision.status is AdmissionStatus.QUEUED:
+                assert decision.reason.startswith("parked:")
+                parked.append(query.name)
+        assert parked, "capacities must force at least one park"
+        manager = service.resources
+        assert set(parked) <= set(manager.parked)
+        for name in parked:
+            assert not service.is_live(name)
+        assert_feasible(service)
+
+        # Free capacity and tick: the parked queries come back.
+        live = [q.name for q in queries if service.is_live(q.name)]
+        for name in live:
+            service.retire(name)
+        report = service.tick(20.0)
+        assert set(parked) & set(report.deployed)
+        assert manager.readmitted_total >= 1
+        assert_feasible(service)
+
+    def test_retire_drops_a_parked_query(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(bounded_config(net))
+        parked = []
+        for i, query in enumerate(workload):
+            decision = service.submit(query, time=float(i))
+            if decision.status is AdmissionStatus.QUEUED:
+                parked.append(query.name)
+        assert parked
+        name = parked[0]
+        assert service.retire(name) is False
+        assert name not in service.resources.parked
+
+    def test_unconstrained_infeasible_error_propagates(self):
+        # A plain service (no resource layer) must never see the
+        # exception type swallowed.
+        service, workload, _ = build_service(None)
+        for query in workload:
+            decision = service.submit(query)
+            assert decision.admitted
+
+
+class TestShedding:
+    def test_heavy_query_sheds_lighter_ones(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(None)  # probe names first
+        queries = list(workload)
+        heavy = queries[-1].name
+        weights = {q.name: 0.5 for q in queries}
+        weights[heavy] = 5.0
+        service, workload, _ = build_service(
+            bounded_config(net, query_weights=weights)
+        )
+        manager = service.resources
+        for i, query in enumerate(list(workload)):
+            service.submit(query, lifetime=100.0, time=float(i))
+        # The heavy query arrives last into a saturated fleet: lighter
+        # victims are shed (and parked) rather than the heavy one.
+        assert service.is_live(heavy)
+        assert manager.shed_total >= 1
+        shed = [p for p in manager.parked.values() if p.shed]
+        assert shed
+        assert all(p.weight < manager.weight_of(heavy) for p in shed)
+        assert_feasible(service)
+
+    def test_shed_disabled_raises_from_the_planner(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(bounded_config(net, shed=False))
+        queries = list(workload)
+        parked = []
+        for i, query in enumerate(queries):
+            decision = service.submit(query, lifetime=100.0, time=float(i))
+            if decision.status is AdmissionStatus.QUEUED:
+                parked.append(query.name)
+        assert parked
+        assert service.resources.shed_total == 0
+        # Directly planning the parked query must surface the error.
+        victim = service.resources.parked[parked[0]].query
+        with pytest.raises(InfeasiblePlacementError):
+            service.resources.plan_feasible(service, victim)
+
+    def test_shed_victims_keep_remaining_lifetime(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(None)
+        heavy = list(workload)[-1].name
+        weights = {q.name: 0.5 for q in workload}
+        weights[heavy] = 5.0
+        service, workload, _ = build_service(
+            bounded_config(net, query_weights=weights)
+        )
+        for i, query in enumerate(list(workload)):
+            service.submit(query, lifetime=50.0, time=float(i))
+        shed = [p for p in service.resources.parked.values() if p.shed]
+        assert shed
+        for entry in shed:
+            assert entry.lifetime is not None
+            assert 0 < entry.lifetime <= 50.0
+
+
+class TestInstruments:
+    def test_gauges_and_counters_reflect_activity(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(bounded_config(net))
+        for i, query in enumerate(workload):
+            service.submit(query, lifetime=100.0, time=float(i))
+        service.tick(10.0)
+        reg = service.registry
+        bound = service.resources.config.utilization_bound
+        assert 0 < reg.get("resource_max_utilization").value <= bound + 1e-9
+        assert reg.get("resource_parked_queries").value == float(
+            len(service.resources.parked)
+        )
+        ledger = service.resources.ledger
+        utils = ledger.utilizations()
+        for node, util in utils.items():
+            assert reg.get(f"resource_node_utilization_n{node}").value == (
+                pytest.approx(util)
+            )
+
+    def test_shed_counter_tracks_the_manager(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(None)
+        heavy = list(workload)[-1].name
+        weights = {q.name: 0.5 for q in workload}
+        weights[heavy] = 5.0
+        service, workload, _ = build_service(
+            bounded_config(net, query_weights=weights)
+        )
+        for i, query in enumerate(list(workload)):
+            service.submit(query, lifetime=100.0, time=float(i))
+        service.tick(10.0)
+        reg = service.registry
+        assert reg.get("resource_shed_total").value == float(
+            service.resources.shed_total
+        )
+        assert service.resources.shed_total >= 1
+
+
+def _install_deploy_spy(service):
+    """After every install the whole fleet must still fit its bound."""
+    engine = service.engine
+    original = engine.deploy
+    bound = service.resources.config.utilization_bound
+    ledger = service.resources.ledger
+    checked = []
+
+    def spy(deployment, **kwargs):
+        out = original(deployment, **kwargs)
+        violations = ledger.violations(bound)
+        checked.append(deployment.query.name)
+        assert violations == [], (
+            f"deploying {deployment.query.name!r} violated the bound: "
+            f"{violations}"
+        )
+        return out
+
+    engine.deploy = spy
+    return checked
+
+
+class TestFeasibilityProperty:
+    @pytest.mark.parametrize("seed", [7, 21, 47])
+    def test_no_accepted_placement_exceeds_the_bound(self, seed):
+        net = repro.transit_stub_by_size(32, seed=seed)
+        service, workload, _ = build_service(bounded_config(net), seed=seed)
+        checked = _install_deploy_spy(service)
+        service.replay(list(churn_trace(workload, lifetime=4.0, repeats=2)))
+        assert checked, "churn must actually deploy queries"
+        assert_feasible(service)
+
+    @pytest.mark.parametrize("seed", [7, 47])
+    def test_bound_holds_under_statistics_drift(self, seed):
+        net = repro.transit_stub_by_size(32, seed=seed)
+        service, workload, _ = build_service(bounded_config(net), seed=seed)
+        checked = _install_deploy_spy(service)
+        queries = list(workload)
+        half = len(queries) // 2
+        for i, query in enumerate(queries[:half]):
+            service.submit(query, lifetime=30.0, time=float(i))
+        # Rates drift upward mid-run; re-optimization and later
+        # admissions must keep respecting the bound at the new rates.
+        inflated = {
+            name: repro.StreamSpec(name, spec.source, spec.rate * 1.8)
+            for name, spec in service.rates.streams.items()
+        }
+        service.rates.update_streams(inflated)
+        for i, query in enumerate(queries[half:]):
+            service.submit(query, lifetime=30.0, time=float(half + i))
+        for t in range(half + len(queries), half + len(queries) + 5):
+            service.tick(float(t))
+        assert checked
+        assert_feasible(service)
+
+    def test_tighter_bound_is_respected(self):
+        net = repro.transit_stub_by_size(32, seed=47)
+        service, workload, _ = build_service(
+            bounded_config(net, utilization_bound=0.5)
+        )
+        checked = _install_deploy_spy(service)
+        for i, query in enumerate(workload):
+            service.submit(query, lifetime=100.0, time=float(i))
+        assert checked
+        assert service.resources.ledger.max_utilization() <= 0.5 + 1e-9
