@@ -102,34 +102,49 @@ def test_fleet_churn_throughput_and_federation(benchmark):
     # ------------------------------------------------------------------
     # 2. federated reuse: savings recovered vs the single-service ceiling
     # ------------------------------------------------------------------
-    # Originals then reuse twins.  The single service with advertisements
-    # reuses views in-process (the ceiling); the no-ads control pays full
-    # price; the 4-shard fleet must recover the savings *across* shards
-    # through the federation even when hash routing separates the pairs.
-    def deploy_all(submit, tick):
-        for query in env.workload:
-            submit(query)
-        tick()  # federation sync point between the rounds
-        for query in env.workload:
-            submit(_twin(query, "__twin", num_nodes))
-        tick()
+    # Originals then reuse twins, run through the scenario lab: the
+    # checked-in ``fleet_reuse.json`` panel pits the no-ads control
+    # (baseline), the single service with in-process reuse (ceiling)
+    # and the 4-shard hash-routed fleet (contender) against the same
+    # seeded twin-burst trace, and the auto-generated report carries
+    # the recovery headline (see docs/experiments.md).
+    import dataclasses
+    import pathlib
 
-    no_ads = _build_single(env, ads=False, budget=64)
-    deploy_all(no_ads.submit, lambda: no_ads.tick(1.0))
-    cost_no_reuse = no_ads.total_cost()
+    from repro.lab import LabReport, load_scenario, run_lab
+    from repro.lab.report import lab_to_json, render_lab_html
+    from repro.lab.spec import WorkloadSpec
 
-    with_ads = _build_single(env, ads=True, budget=64)
-    deploy_all(with_ads.submit, lambda: with_ads.tick(1.0))
-    cost_single = with_ads.total_cost()
-
-    federated = _build_fleet(env, shards=4, budget_per_shard=16)
-    deploy_all(federated.submit, lambda: federated.tick())
-    cost_fleet = federated.total_cost()
+    spec = load_scenario(
+        pathlib.Path(__file__).parent / "scenarios" / "fleet_reuse.json"
+    )
+    spec = dataclasses.replace(
+        spec,
+        workload=WorkloadSpec(
+            streams=params.num_streams,
+            queries=params.num_queries,
+            joins=params.joins_per_query,
+        ),
+    )
+    result = run_lab(spec)
+    report = LabReport.from_result(result)
+    federated = result.run("fleet_hash_4").plane
     assert federated.check_invariants() == []
 
+    cost_no_reuse = result.run("no_reuse").metrics()["final_cost"]
+    cost_single = result.run("single_reuse").metrics()["final_cost"]
+    cost_fleet = result.run("fleet_hash_4").metrics()["final_cost"]
     ceiling = cost_no_reuse - cost_single
-    recovered = cost_no_reuse - cost_fleet
-    recovery = recovered / ceiling if ceiling > 0 else 1.0
+    recovery = report.recovery().get("fleet_hash_4", 1.0)
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "fleet_reuse_lab.html").write_text(
+        render_lab_html(report), encoding="utf-8"
+    )
+    (results_dir / "fleet_reuse_lab.json").write_text(
+        lab_to_json(result), encoding="utf-8"
+    )
 
     lines = [
         "fleet control plane: sharding, federation, fairness",

@@ -38,47 +38,61 @@ def _build_service(env, resources=None, budget=64):
 
 
 def test_capacity_aware_vs_blind_under_hotspot(benchmark):
+    # The blind-vs-aware comparison runs through the scenario lab: the
+    # checked-in ``resources_hotspot.json`` panel submits the same
+    # workload to a capacity-blind service (audited by a read-only
+    # ledger) and the capacity-aware planner, and the auto-generated
+    # report carries the overload/coverage headline.
+    import dataclasses
+    import pathlib
+
+    from repro.lab import LabReport, load_scenario, run_lab
+    from repro.lab.report import lab_to_json, render_lab_html
+    from repro.lab.spec import WorkloadSpec
+
     params = WorkloadParams(
         num_streams=8,
         num_queries=bench_scale(24, 12),
         joins_per_query=(2, 4),
     )
-    env = build_env(32, params, max_cs_values=(MAX_CS,), seed=41)
-    profile = HotspotProfile(
-        cpu=1500.0, memory=1500.0, bandwidth=2500.0,
-        weak_fraction=0.25, weak_scale=0.1, seed=7,
+    spec = load_scenario(
+        pathlib.Path(__file__).parent / "scenarios" / "resources_hotspot.json"
     )
-    capacities = profile.capacities(env.network)
+    spec = dataclasses.replace(
+        spec,
+        workload=WorkloadSpec(
+            streams=params.num_streams,
+            queries=params.num_queries,
+            joins=params.joins_per_query,
+        ),
+        trace=dataclasses.replace(spec.trace, arrivals_per_tick=params.num_queries),
+    )
+    result = run_lab(spec)
+    report = LabReport.from_result(result)
+
+    blind, aware = result.run("blind").plane, result.run("aware").plane
+    env = result.run("aware").built.env
+    capacities = result.run("aware").built.capacities
+    profile = HotspotProfile(
+        cpu=spec.capacity.cpu, memory=spec.capacity.memory,
+        bandwidth=spec.capacity.bandwidth,
+        weak_fraction=spec.capacity.weak_fraction,
+        weak_scale=spec.capacity.weak_scale, seed=spec.capacity.seed,
+    )
     weak = sorted(n for n, c in capacities.items() if c.cpu < profile.cpu)
 
-    # ------------------------------------------------------------------
-    # capacity-blind: plan for communication cost only, then audit the
-    # result with a read-only ledger priced over the same capacities
-    # ------------------------------------------------------------------
-    blind = _build_service(env, resources=None)
-    for query in env.workload:
-        blind.submit(query)
+    blind_metrics = result.run("blind").metrics()
+    blind_live = blind_metrics["live"]
+    blind_max = blind_metrics["max_utilization"]
     audit = ResourceLedger(capacities)
     audit.attach(blind.engine.state, OperatorFootprint(env.rates))
-    blind_live = len(blind.live_queries)
-    blind_max = audit.max_utilization()
     blind_violations = audit.violations(BOUND)
     blind_weak_hits = [
         (node, util) for node, util in blind_violations if node in weak
     ]
 
-    # ------------------------------------------------------------------
-    # capacity-aware: same queries through the constrained planner
-    # ------------------------------------------------------------------
-    aware = _build_service(
-        env,
-        resources=ResourceConfig(capacities=capacities, utilization_bound=BOUND),
-    )
-    for query in env.workload:
-        aware.submit(query)
-    aware.tick(1.0)
     ledger = aware.resources.ledger
-    aware_live = len(aware.live_queries)
+    aware_live = result.run("aware").metrics()["live"]
     aware_max = ledger.max_utilization()
     aware_violations = ledger.violations(BOUND)
 
@@ -87,6 +101,15 @@ def test_capacity_aware_vs_blind_under_hotspot(benchmark):
     blind_cost = sum(blind.engine.state.query_cost(name) for name in common)
     aware_cost = sum(aware.engine.state.query_cost(name) for name in common)
     premium = (aware_cost - blind_cost) / blind_cost if blind_cost else 0.0
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "resources_hotspot_lab.html").write_text(
+        render_lab_html(report), encoding="utf-8"
+    )
+    (results_dir / "resources_hotspot_lab.json").write_text(
+        lab_to_json(result), encoding="utf-8"
+    )
 
     lines = [
         "resource-aware vs capacity-blind placement (hotspot fleet)",

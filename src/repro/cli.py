@@ -692,9 +692,15 @@ def _cmd_dash(args: argparse.Namespace) -> int:
         with open(args.html, "w", encoding="utf-8") as fh:
             fh.write(render_html(envelope))
         print(f"wrote {args.html}")
+    if args.csv:
+        from repro.obs.timeseries import series_to_csv
+
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(series_to_csv(envelope.get("series", {})))
+        print(f"wrote {args.csv}")
     if args.json:
         print(json.dumps(envelope, indent=2, sort_keys=True))
-    elif not args.html:
+    elif not args.html and not args.csv:
         print(render_terminal(envelope), end="")
     firing = [
         a for a in envelope.get("alerts", []) if a.get("state") == "firing"
@@ -702,6 +708,105 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     if args.once:
         return 0
     return 1 if firing else 0
+
+
+def _cmd_lab(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lab import (
+        LabReport,
+        lab_envelope_from_json,
+        lab_envelope_to_csv,
+        render_lab_html,
+        render_lab_terminal,
+        run_lab,
+    )
+    from repro.lab.report import lab_to_json
+    from repro.lab.spec import ScenarioError, list_scenarios, load_scenario
+
+    if args.lab_command == "list":
+        rows = list_scenarios(args.directory)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        if not rows:
+            print(f"no scenario files in {args.directory}")
+            return 0
+        for row in rows:
+            if "error" in row:
+                print(f"  {row['file']:28s} ERROR: {row['error']}")
+                continue
+            panel = ",".join(row["candidates"]) or "(default panel)"
+            print(f"  {row['file']:28s} seed={row['seed']:<6} "
+                  f"ticks={row['ticks']:<4} nodes={row['nodes']:<4} "
+                  f"queries={row['queries']:<4} [{panel}]")
+            if row["description"]:
+                print(f"  {'':28s} {row['description']}")
+        return 0
+
+    if args.lab_command == "report":
+        try:
+            with open(args.envelope, "r", encoding="utf-8") as fh:
+                envelope = lab_envelope_from_json(json.load(fh))
+        except OSError as exc:
+            print(f"error: cannot read {args.envelope}: {exc}",
+                  file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"error: {args.envelope} is not a lab envelope: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = LabReport(envelope)
+        wrote = False
+        if args.html:
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(render_lab_html(report))
+            print(f"wrote {args.html}")
+            wrote = True
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(lab_envelope_to_csv(envelope))
+            print(f"wrote {args.csv}")
+            wrote = True
+        if args.json:
+            print(json.dumps(report.summary(), indent=2, sort_keys=True))
+        elif not wrote:
+            print(render_lab_terminal(report), end="")
+        return 0
+
+    # run
+    try:
+        spec = load_scenario(args.scenario)
+    except OSError as exc:
+        print(f"error: cannot read {args.scenario}: {exc}", file=sys.stderr)
+        return 2
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_lab(spec)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    envelope = result.envelope()
+    report = LabReport(envelope)
+    if not args.quiet:
+        print(render_lab_terminal(report), end="")
+    if args.json == "-":
+        print(lab_to_json(envelope), end="")
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(lab_to_json(envelope))
+        print(f"wrote {args.json}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_lab_html(report))
+        print(f"wrote {args.html}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(lab_envelope_to_csv(envelope))
+        print(f"wrote {args.csv}")
+    return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -1461,10 +1566,64 @@ def build_parser() -> argparse.ArgumentParser:
                            "the terminal dashboard")
     dash.add_argument("--html", default=None, metavar="PATH",
                       help="also write a static HTML report")
+    dash.add_argument("--csv", default=None, metavar="PATH",
+                      help="also write the series as long-form CSV "
+                           "(series,time,value) for external plotting")
     dash.add_argument("--once", action="store_true",
                       help="always exit 0 (default: exit 1 while any alert "
                            "is firing, for scripting)")
     dash.set_defaults(func=_cmd_dash)
+
+    lab = sub.add_parser(
+        "lab",
+        help="scenario lab: candidate-vs-candidate experiments with "
+             "auto-generated comparative reports",
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+
+    lab_run = lab_sub.add_parser(
+        "run", help="step a scenario's candidate panel and report"
+    )
+    lab_run.add_argument("scenario", metavar="SCENARIO",
+                         help="scenario file (.json, or .toml on "
+                              "Python >= 3.11)")
+    lab_run.add_argument("--json", default=None, metavar="PATH",
+                         help="write the repro.lab envelope "
+                              "('-' for stdout)")
+    lab_run.add_argument("--html", default=None, metavar="PATH",
+                         help="write the comparative HTML report")
+    lab_run.add_argument("--csv", default=None, metavar="PATH",
+                         help="write every candidate's telemetry series "
+                              "as long-form CSV")
+    lab_run.add_argument("--quiet", action="store_true",
+                         help="suppress the terminal report")
+    lab_run.set_defaults(func=_cmd_lab)
+
+    lab_report = lab_sub.add_parser(
+        "report", help="re-render a saved repro.lab envelope"
+    )
+    lab_report.add_argument("envelope", metavar="ENVELOPE",
+                            help="a repro.lab JSON file written by "
+                                 "`repro lab run --json`")
+    lab_report.add_argument("--html", default=None, metavar="PATH",
+                            help="write the comparative HTML report")
+    lab_report.add_argument("--csv", default=None, metavar="PATH",
+                            help="write the telemetry series as CSV")
+    lab_report.add_argument("--json", action="store_true",
+                            help="emit the comparison summary as JSON "
+                                 "instead of the terminal report")
+    lab_report.set_defaults(func=_cmd_lab)
+
+    lab_list = lab_sub.add_parser(
+        "list", help="list the scenario files in a directory"
+    )
+    lab_list.add_argument("--dir", dest="directory",
+                          default="benchmarks/scenarios",
+                          help="directory to scan for .json/.toml "
+                               "scenarios")
+    lab_list.add_argument("--json", action="store_true",
+                          help="emit the listing as JSON")
+    lab_list.set_defaults(func=_cmd_lab)
     return parser
 
 

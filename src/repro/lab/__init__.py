@@ -1,0 +1,61 @@
+"""The scenario lab: candidate-vs-candidate experiments from one config.
+
+The lab turns every scale/speed claim in this repo into a declarative
+experiment: a :class:`ScenarioSpec` (topology, workload mix and churn,
+drift timeline, tenant mix, fault plan, capacity profile -- all composed
+from the existing :mod:`repro.workload` / :mod:`repro.resilience` /
+:mod:`repro.resources` vocabulary, loadable from JSON or TOML files
+checked in under ``benchmarks/scenarios/``) is stepped tick-for-tick
+against a panel of named :class:`Candidate` configurations, each
+wrapping a fully configured :class:`~repro.service.service.StreamQueryService`
+or :class:`~repro.fleet.controller.FleetController` with its own
+:class:`~repro.obs.telemetry.Telemetry` pipeline scraping ``scope.metric``
+series into a per-candidate
+:class:`~repro.obs.timeseries.TimeSeriesStore`.
+
+On top of the run, :class:`LabReport` computes candidate-vs-candidate
+deltas (cumulative communication cost, cache hit rate, migrations,
+alerts fired, shed/parked queries, planner op counts) and renders a
+terminal table, a self-contained HTML report with per-metric SVG
+sparkline small multiples, and a deterministic ``repro.lab`` JSON
+envelope -- same seed, byte-identical envelope, with the same
+test-enforced contract the telemetry pipeline has.
+
+Surface: ``repro lab run | report | list``.
+"""
+
+from repro.lab.candidate import Candidate, candidates_from_list, default_panel
+from repro.lab.report import (
+    LabReport,
+    lab_envelope_from_json,
+    lab_envelope_to_csv,
+    render_lab_html,
+    render_lab_terminal,
+)
+from repro.lab.runner import CandidateRun, LabResult, run_lab
+from repro.lab.spec import (
+    BuiltScenario,
+    ScenarioSpec,
+    build_scenario,
+    load_scenario,
+    scenario_from_dict,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "Candidate",
+    "CandidateRun",
+    "LabReport",
+    "LabResult",
+    "ScenarioSpec",
+    "build_scenario",
+    "candidates_from_list",
+    "default_panel",
+    "lab_envelope_from_json",
+    "lab_envelope_to_csv",
+    "load_scenario",
+    "render_lab_html",
+    "render_lab_terminal",
+    "run_lab",
+    "scenario_from_dict",
+]

@@ -18,6 +18,7 @@ bytes (the determinism tests rely on this).
 from __future__ import annotations
 
 import html as _html
+from math import isfinite
 from typing import Any, Mapping, Sequence
 
 #: Eight-level unicode bars, lowest to highest.
@@ -42,18 +43,28 @@ _STATE_MARK = {"firing": "!!", "pending": " ~", "resolved": " *", "inactive": " 
 
 
 def sparkline(values: Sequence[float], width: int = 32) -> str:
-    """Downsample ``values`` into a fixed-width unicode sparkline."""
+    """Downsample ``values`` into a fixed-width unicode sparkline.
+
+    Non-finite samples (NaN, +/-inf) render as gaps and never poison
+    the scale; a constant or single-sample series renders at the lowest
+    bar level.
+    """
     if not values:
         return ""
+    values = list(values)
     if len(values) > width:
         # Keep the newest samples: the dashboard is about "now".
-        values = list(values)[-width:]
-    lo, hi = min(values), max(values)
+        values = values[-width:]
+    finite = [v for v in values if isfinite(v)]
+    if not finite:
+        return " " * len(values)
+    lo, hi = min(finite), max(finite)
     if hi == lo:
-        return SPARK_CHARS[0] * len(values)
+        return "".join(SPARK_CHARS[0] if isfinite(v) else " " for v in values)
     span = hi - lo
     return "".join(
-        SPARK_CHARS[min(7, int((v - lo) / span * 8))] for v in values
+        SPARK_CHARS[min(7, int((v - lo) / span * 8))] if isfinite(v) else " "
+        for v in values
     )
 
 
@@ -181,10 +192,17 @@ code { color: #9ecbff; }
 
 
 def _svg_spark(values: Sequence[float], width: int = 140, height: int = 26) -> str:
-    """One inline-SVG sparkline polyline for a series."""
+    """One inline-SVG sparkline polyline for a series.
+
+    Non-finite samples are dropped (an SVG polyline with NaN/inf
+    coordinates is invalid markup); an all-non-finite series renders as
+    no sparkline at all, same as an empty one.
+    """
     if not values:
         return ""
-    values = list(values)[-64:]
+    values = [v for v in list(values)[-64:] if isfinite(v)]
+    if not values:
+        return ""
     lo, hi = min(values), max(values)
     span = (hi - lo) or 1.0
     n = len(values)

@@ -264,6 +264,17 @@ class TimeSeriesStore:
                 store.append(name, point[0], point[1])
         return store
 
+    def to_csv(self) -> str:
+        """Long-form CSV of every retained sample: ``series,time,value``.
+
+        One row per sample, series in name order, samples in time order
+        within a series -- the tidy layout pandas/R/gnuplot ingest
+        directly, so external plotting needs no JSON parsing.  Values
+        serialize with ``repr`` (round-trippable floats), which keeps
+        the output deterministic for a deterministic store.
+        """
+        return series_to_csv(self.to_dict())
+
 
 class TelemetryScraper:
     """Scrapes typed metric registries into a :class:`TimeSeriesStore`.
@@ -392,3 +403,38 @@ class TelemetryScraper:
             "samples": self.samples_total,
             "series": len(self.store),
         }
+
+
+# ----------------------------------------------------------------------
+# CSV interchange
+# ----------------------------------------------------------------------
+def series_to_csv(
+    series: Mapping[str, Iterable[Sequence[float]]],
+    prefix: Mapping[str, str] | None = None,
+) -> str:
+    """Long-form CSV of an envelope's series table.
+
+    Works straight off the ``series`` section of a ``repro.telemetry``
+    (or per-candidate ``repro.lab``) envelope -- the same
+    ``{name: [[time, value], ...]}`` shape :meth:`TimeSeriesStore.to_dict`
+    produces.  With ``prefix``, the optional extra columns (e.g. a
+    ``candidate`` column for lab envelopes) lead each row; column order
+    is the sorted prefix keys, then ``series,time,value``.
+    """
+    prefix = dict(prefix or {})
+    keys = sorted(prefix)
+    lines = [",".join([*keys, "series", "time", "value"])]
+    for name in sorted(series):
+        label = _csv_field(name)
+        lead = "".join(_csv_field(prefix[k]) + "," for k in keys)
+        for point in series[name]:
+            lines.append(f"{lead}{label},{point[0]!r},{point[1]!r}")
+    return "\n".join(lines) + "\n"
+
+
+def _csv_field(value: str) -> str:
+    """Quote a CSV field only when it needs it (RFC 4180)."""
+    text = str(value)
+    if any(c in text for c in ',"\n\r'):
+        return '"' + text.replace('"', '""') + '"'
+    return text

@@ -28,6 +28,9 @@ Cases (the ``quick`` subset is what CI runs):
   pipeline (resp. the write-ahead journal, resp. the unbounded resource
   layer) armed; planner op counts must not move, wall samples price the
   added machinery.
+* ``lab_overhead`` -- ``service_churn`` driven through the scenario
+  lab's :class:`~repro.lab.runner.CandidateRun` wrapper; same parity
+  contract, pricing the experiment harness itself.
 """
 
 from __future__ import annotations
@@ -311,6 +314,79 @@ def _case_resource_overhead() -> OpProfiler:
     return prof
 
 
+def _case_lab_overhead() -> OpProfiler:
+    """Service churn driven through the scenario lab's CandidateRun.
+
+    The lab wrapper only *observes* -- the per-candidate telemetry
+    pipeline scrapes instruments and the tick hook samples the cost
+    integral -- so its planner op counts (plans, probes, ticks) must
+    match ``service_churn`` exactly.  The case exists so the 25% gate
+    catches the experiment harness ever leaking work into the planner
+    path, and its wall samples price the wrapper.
+    """
+    from repro.experiments.harness import EvalEnv
+    from repro.lab.candidate import Candidate
+    from repro.lab.runner import CandidateRun
+    from repro.lab.spec import (
+        BuiltScenario,
+        ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+    from repro.query.query import Query
+
+    net, workload, rates, hierarchy = _hier_env(num_queries=10)
+    # Hand-built scenario around the exact service_churn environment
+    # (its max_cs=6 seeds are not reachable through build_scenario).
+    spec = ScenarioSpec(
+        name="lab_overhead",
+        seed=7,
+        ticks=40,
+        topology=TopologySpec(nodes=net.num_nodes, max_cs=6),
+        workload=WorkloadSpec(streams=10, queries=10),
+    )
+    built = BuiltScenario(
+        spec=spec,
+        env=EvalEnv(
+            network=net,
+            workload=workload,
+            rates=rates,
+            hierarchies={6: hierarchy},
+        ),
+        events=[],
+        timeline=None,
+        capacities=None,
+    )
+    # ads=False, reuse=True is the stock service: no advertisement
+    # index, planner reuse from the deployment state -- the same
+    # optimizer service_churn builds.
+    candidate = Candidate(
+        name="churn", ads=False, reuse=True, budget=4, max_per_tick=2
+    )
+    run = CandidateRun(candidate, built)
+    with profiled() as prof:
+        for i, query in enumerate(workload):
+            run.submit(query, lifetime=4.0 + (i % 3))
+        for _ in range(30):
+            with prof.sample("lab_tick"):
+                run.tick()
+        for query in list(workload)[:4]:
+            renamed = Query(
+                query.name + "_again",
+                sources=query.sources,
+                sink=query.sink,
+                predicates=query.predicates,
+                filters=query.filters,
+                window=query.window,
+            )
+            run.submit(renamed, lifetime=2.0)
+        for _ in range(10):
+            run.tick()
+        prof.count("telemetry_samples", run.telemetry.scraper.samples_total)
+        prof.count("telemetry_series", len(run.telemetry.store))
+    return prof
+
+
 CASES: dict[str, Callable[[], OpProfiler]] = {
     "plan_top_down": _case_plan_hierarchical("top-down"),
     "plan_bottom_up": _case_plan_hierarchical("bottom-up"),
@@ -321,6 +397,7 @@ CASES: dict[str, Callable[[], OpProfiler]] = {
     "telemetry_overhead": _case_telemetry_overhead,
     "durability_overhead": _case_durability_overhead,
     "resource_overhead": _case_resource_overhead,
+    "lab_overhead": _case_lab_overhead,
 }
 
 #: The subset CI runs on every push (all of them -- the suite is sized

@@ -1,0 +1,157 @@
+"""LabReport: delta math, recovery, rendering, CSV export."""
+
+import json
+
+import pytest
+
+from repro.lab.report import (
+    LabReport,
+    lab_envelope_from_json,
+    lab_envelope_to_csv,
+    lab_to_json,
+    render_lab_html,
+    render_lab_terminal,
+)
+
+
+def entry(name, role, metrics, series=None, ops=None):
+    return {
+        "candidate": {
+            "name": name, "role": role, "mode": "service",
+            "description": f"{name} description",
+        },
+        "metrics": metrics,
+        "ops": ops or {},
+        "telemetry": {"series": series or {}},
+    }
+
+
+def envelope(*entries):
+    return {
+        "kind": "repro.lab",
+        "version": 1,
+        "scenario": {"name": "synthetic", "seed": 1, "ticks": 4},
+        "candidates": list(entries),
+    }
+
+
+def three_way():
+    return envelope(
+        entry("base", "baseline", {"final_cost": 100.0, "live": 4}),
+        entry("ceil", "ceiling", {"final_cost": 40.0, "live": 4}),
+        entry("mid", "contender", {"final_cost": 55.0, "live": 4}),
+    )
+
+
+class TestValidation:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a lab envelope"):
+            lab_envelope_from_json({"kind": "repro.telemetry"})
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError, match="no candidate runs"):
+            lab_envelope_from_json({"kind": "repro.lab", "candidates": []})
+
+
+class TestComparison:
+    def test_deltas_are_relative_to_the_baseline(self):
+        report = LabReport(three_way())
+        row = next(r for r in report.table() if r["metric"] == "final_cost")
+        by_name = {c["candidate"]: c for c in row["cells"]}
+        assert by_name["base"]["delta"] is None
+        assert by_name["ceil"]["delta"] == -60.0
+        assert by_name["mid"]["delta"] == -45.0
+
+    def test_metrics_nobody_reports_are_skipped(self):
+        report = LabReport(three_way())
+        assert "migrations" not in {r["metric"] for r in report.table()}
+
+    def test_recovery_ratio(self):
+        recovery = LabReport(three_way()).recovery()
+        assert recovery["ceil"] == pytest.approx(1.0)
+        assert recovery["mid"] == pytest.approx(0.75)
+
+    def test_recovery_needs_both_anchors(self):
+        doc = envelope(
+            entry("base", "baseline", {"final_cost": 100.0}),
+            entry("mid", "contender", {"final_cost": 55.0}),
+        )
+        assert LabReport(doc).recovery() == {}
+
+    def test_recovery_falls_back_to_cost_ticks_for_churn(self):
+        doc = envelope(
+            entry("base", "baseline", {"final_cost": 0.0, "cost_ticks": 200.0}),
+            entry("ceil", "ceiling", {"final_cost": 0.0, "cost_ticks": 100.0}),
+            entry("mid", "contender", {"final_cost": 0.0, "cost_ticks": 150.0}),
+        )
+        assert LabReport(doc).recovery()["mid"] == pytest.approx(0.5)
+
+    def test_summary_is_json_able(self):
+        summary = LabReport(three_way()).summary()
+        json.dumps(summary)
+        assert summary["scenario"]["name"] == "synthetic"
+        assert [c["name"] for c in summary["candidates"]] == [
+            "base", "ceil", "mid",
+        ]
+
+
+class TestRendering:
+    def test_terminal_lists_every_candidate_and_recovery(self):
+        text = render_lab_terminal(LabReport(three_way()))
+        for name in ("base", "ceil", "mid"):
+            assert name in text
+        assert "savings recovery" in text
+        assert "75.0%" in text
+
+    def test_terminal_draws_lab_series_sparklines(self):
+        doc = envelope(
+            entry(
+                "base", "baseline", {"final_cost": 1.0},
+                series={"lab.total_cost": [[1.0, 5.0], [2.0, 3.0]]},
+            ),
+        )
+        text = render_lab_terminal(LabReport(doc))
+        assert "[lab.total_cost]" in text
+
+    def test_html_is_self_contained(self):
+        doc = three_way()
+        doc["candidates"][0]["telemetry"]["series"] = {
+            "lab.total_cost": [[1.0, 5.0], [2.0, 3.0]],
+        }
+        doc["candidates"][0]["ops"] = {"cost_evaluations": 42}
+        html = render_lab_html(LabReport(doc))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html and "<svg" in html
+        assert "cost_evaluations" in html
+        assert "75.0%" in html
+        assert "src=" not in html and "href=" not in html
+
+    def test_html_marks_improvements_against_the_baseline(self):
+        html = render_lab_html(LabReport(three_way()))
+        assert 'class="num better"' in html
+
+    def test_json_serialization_is_stable(self):
+        doc = three_way()
+        assert lab_to_json(doc) == lab_to_json(dict(doc))
+        assert lab_to_json(doc).endswith("\n")
+
+
+class TestCsvExport:
+    def test_candidate_column_and_single_header(self):
+        doc = envelope(
+            entry(
+                "a", "baseline", {},
+                series={"lab.total_cost": [[1.0, 2.0]]},
+            ),
+            entry(
+                "b", "contender", {},
+                series={"lab.total_cost": [[1.0, 4.0]]},
+            ),
+        )
+        csv = lab_envelope_to_csv(doc)
+        lines = csv.strip().split("\n")
+        assert lines[0] == "candidate,series,time,value"
+        assert lines[1:] == [
+            "a,lab.total_cost,1.0,2.0",
+            "b,lab.total_cost,1.0,4.0",
+        ]

@@ -1,0 +1,93 @@
+"""Dashboard renderer edge cases: sparklines that must never explode.
+
+Regression suite for degenerate series -- constant, single-sample,
+NaN/inf-contaminated -- which previously could divide by zero or emit
+invalid SVG coordinates.
+"""
+
+import math
+
+from repro.obs.dashboard import SPARK_CHARS, _svg_spark, sparkline
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestSparkline:
+    def test_empty_series_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_single_sample_renders_lowest_bar(self):
+        assert sparkline([5.0]) == SPARK_CHARS[0]
+
+    def test_constant_series_renders_flat_at_lowest_bar(self):
+        assert sparkline([3.0] * 6) == SPARK_CHARS[0] * 6
+
+    def test_nan_renders_as_gap_without_poisoning_the_scale(self):
+        out = sparkline([0.0, NAN, 8.0])
+        assert len(out) == 3
+        assert out[1] == " "
+        assert out[0] == SPARK_CHARS[0]
+        assert out[2] == SPARK_CHARS[-1]
+
+    def test_infinities_render_as_gaps(self):
+        out = sparkline([INF, 1.0, -INF, 2.0])
+        assert out[0] == " " and out[2] == " "
+        assert out[1] != " " and out[3] != " "
+
+    def test_all_non_finite_is_all_gaps(self):
+        assert sparkline([NAN, INF, -INF]) == "   "
+
+    def test_max_value_stays_in_the_character_ladder(self):
+        out = sparkline([0.0, 1.0])
+        assert out[1] == SPARK_CHARS[7]
+
+    def test_width_keeps_the_newest_samples(self):
+        values = list(range(100))
+        out = sparkline(values, width=8)
+        assert len(out) == 8
+        # oldest retained sample maps low, newest maps high
+        assert out[0] == SPARK_CHARS[0]
+        assert out[-1] == SPARK_CHARS[-1]
+
+    def test_nan_tail_within_constant_series(self):
+        out = sparkline([2.0, 2.0, NAN])
+        assert out == SPARK_CHARS[0] * 2 + " "
+
+
+class TestSvgSpark:
+    def test_empty_series_renders_nothing(self):
+        assert _svg_spark([]) == ""
+
+    def test_all_non_finite_renders_nothing(self):
+        assert _svg_spark([NAN, INF]) == ""
+
+    def test_single_sample_draws_a_midline(self):
+        svg = _svg_spark([7.0])
+        assert svg.startswith('<svg class="spark"')
+        assert "polyline" in svg
+
+    def test_constant_series_is_valid_markup(self):
+        svg = _svg_spark([4.0, 4.0, 4.0])
+        assert "nan" not in svg.lower()
+        assert "inf" not in svg.lower()
+
+    def test_non_finite_samples_are_dropped_not_plotted(self):
+        clean = _svg_spark([1.0, 2.0, 3.0])
+        dirty = _svg_spark([1.0, NAN, 2.0, INF, 3.0])
+        assert "nan" not in dirty.lower() and "inf" not in dirty.lower()
+        # dropping the junk leaves exactly the finite polyline
+        assert dirty == clean
+
+    def test_coordinates_stay_inside_the_viewbox(self):
+        svg = _svg_spark([0.0, 100.0, 50.0], width=140, height=26)
+        points = svg.split('points="')[1].split('"')[0]
+        for pair in points.split():
+            x, y = map(float, pair.split(","))
+            assert 0.0 <= x <= 140.0
+            assert 0.0 <= y <= 26.0
+
+    def test_math_nan_guard_matches_the_math_module(self):
+        # Belt and braces: values produced by real math, not literals.
+        out = sparkline([math.inf, math.nan, 1.0])
+        assert out[:2] == "  "

@@ -61,6 +61,83 @@ class TestLifecycle:
         assert rule.state is RuleState.INACTIVE
         assert [e["to"] for e in events] == ["inactive"]
 
+    def test_reentry_from_resolved_restarts_the_hysteresis_clock(self):
+        """FIRING -> RESOLVED -> PENDING -> FIRING: a breach that comes
+        back right after resolving must serve the full ``for_ticks``
+        dwell again -- the first episode's pending_since never bleeds
+        into the second."""
+        store = TimeSeriesStore()
+        rule = ThresholdRule("r", "x", ">", 10.0, for_ticks=2.0)
+        engine = RulesEngine(store, [rule])
+
+        # episode one: breach at t=1, fire at t=3, clear at t=4
+        for t in (1.0, 2.0, 3.0):
+            store.append("x", t, 20.0)
+            engine.evaluate(t)
+        assert rule.state is RuleState.FIRING
+        assert rule.fire_count == 1
+        store.append("x", 4.0, 5.0)
+        engine.evaluate(4.0)
+        assert rule.state is RuleState.RESOLVED
+
+        # episode two: breach returns while still RESOLVED
+        store.append("x", 5.0, 20.0)
+        events = engine.evaluate(5.0)
+        assert rule.state is RuleState.PENDING
+        assert [e["to"] for e in events] == ["pending"]
+        assert rule.pending_since == 5.0  # fresh clock, not episode one's
+
+        # one sustained tick is not enough for for_ticks=2 ...
+        store.append("x", 6.0, 20.0)
+        engine.evaluate(6.0)
+        assert rule.state is RuleState.PENDING
+
+        # ... two are: second independent firing
+        store.append("x", 7.0, 20.0)
+        events = engine.evaluate(7.0)
+        assert rule.state is RuleState.FIRING
+        assert [e["to"] for e in events] == ["firing"]
+        assert rule.fire_count == 2
+        assert rule.fired_at == 7.0
+
+    def test_reentry_transitions_are_all_journaled(self):
+        """The engine's event log carries both complete episodes in
+        order -- reports count ``to == "firing"`` transitions, so a
+        swallowed re-entry would undercount alerts."""
+        store = TimeSeriesStore()
+        rule = ThresholdRule("r", "x", ">", 10.0, for_ticks=1.0)
+        engine = RulesEngine(store, [rule])
+        pattern = [20.0, 20.0, 5.0, 20.0, 20.0, 5.0]
+        for i, value in enumerate(pattern, start=1):
+            store.append("x", float(i), value)
+            engine.evaluate(float(i))
+        transitions = [e["to"] for e in engine.events]
+        assert transitions == [
+            "pending", "firing", "resolved",
+            "pending", "firing", "resolved",
+        ]
+        assert sum(1 for t in transitions if t == "firing") == 2
+
+    def test_resolved_quiet_tick_then_reentry_from_inactive(self):
+        """If the breach returns only after the RESOLVED tick has
+        decayed to INACTIVE, the rule still re-enters cleanly."""
+        store = TimeSeriesStore()
+        rule = ThresholdRule("r", "x", ">", 10.0, for_ticks=0.0)
+        engine = RulesEngine(store, [rule])
+        store.append("x", 1.0, 20.0)
+        engine.evaluate(1.0)
+        assert rule.state is RuleState.FIRING
+        store.append("x", 2.0, 5.0)
+        engine.evaluate(2.0)
+        assert rule.state is RuleState.RESOLVED
+        store.append("x", 3.0, 5.0)
+        engine.evaluate(3.0)
+        assert rule.state is RuleState.INACTIVE
+        store.append("x", 4.0, 20.0)
+        engine.evaluate(4.0)
+        assert rule.state is RuleState.FIRING
+        assert rule.fire_count == 2
+
     def test_pending_unbreach_goes_straight_inactive(self):
         store = TimeSeriesStore()
         rule = ThresholdRule("r", "x", ">", 10.0, for_ticks=3.0)

@@ -8,6 +8,7 @@ from repro.obs.timeseries import (
     TelemetryScraper,
     TimeSeriesStore,
     scoped_name,
+    series_to_csv,
 )
 
 
@@ -195,3 +196,48 @@ class TestTelemetryScraper:
     def test_scoped_name(self):
         assert scoped_name("svc", "m") == "svc.m"
         assert scoped_name("", "m") == "m"
+
+
+class TestCsvExport:
+    def make_store(self):
+        store = TimeSeriesStore()
+        store.append("b.second", 1.0, 4.0)
+        store.append("a.first", 1.0, 2.0)
+        store.append("a.first", 2.0, 2.5)
+        return store
+
+    def test_long_form_rows_sorted_by_series_then_time(self):
+        assert self.make_store().to_csv() == (
+            "series,time,value\n"
+            "a.first,1.0,2.0\n"
+            "a.first,2.0,2.5\n"
+            "b.second,1.0,4.0\n"
+        )
+
+    def test_empty_store_is_header_only(self):
+        assert TimeSeriesStore().to_csv() == "series,time,value\n"
+
+    def test_values_round_trip_through_repr(self):
+        store = TimeSeriesStore()
+        store.append("x", 1.0, 0.1 + 0.2)  # the classic non-decimal float
+        row = store.to_csv().splitlines()[1]
+        assert float(row.split(",")[2]) == 0.1 + 0.2
+
+    def test_prefix_columns_lead_each_row(self):
+        csv = series_to_csv(
+            {"x": [[1.0, 2.0]]}, prefix={"candidate": "reuse"}
+        )
+        assert csv == (
+            "candidate,series,time,value\n"
+            "reuse,x,1.0,2.0\n"
+        )
+
+    def test_fields_with_commas_or_quotes_are_rfc4180_quoted(self):
+        csv = series_to_csv(
+            {'weird,"name"': [[1.0, 2.0]]}, prefix={"tag": "a,b"}
+        )
+        assert '"a,b","weird,""name""",1.0,2.0' in csv
+
+    def test_csv_matches_the_envelope_series_section(self):
+        store = self.make_store()
+        assert store.to_csv() == series_to_csv(store.to_dict())

@@ -60,6 +60,47 @@ class TestDashCli:
         assert "repro dash" in report
         assert "svg" in report
 
+    def test_csv_export(self, tmp_path, capsys):
+        csv = tmp_path / "series.csv"
+        rc = main([
+            "dash", "--once",
+            "--ticks", "8", "--queries", "4", "--nodes", "24",
+            "--csv", str(csv),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"wrote {csv}" in out
+        # writing an artifact suppresses the terminal dashboard
+        assert "repro dash -- fleet telemetry" not in out
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "series,time,value"
+        assert len(lines) > 1
+        # every row is series,float,float
+        for row in lines[1:]:
+            name, t, v = row.rsplit(",", 2)
+            assert name
+            float(t), float(v)
+
+    def test_csv_matches_the_envelope(self, tmp_path, capsys):
+        rc = main([
+            "dash", "--once", "--json",
+            "--ticks", "8", "--queries", "4", "--nodes", "24",
+        ])
+        assert rc == 0
+        envelope = json.loads(capsys.readouterr().out)
+
+        csv = tmp_path / "series.csv"
+        rc = main([
+            "dash", "--once",
+            "--ticks", "8", "--queries", "4", "--nodes", "24",
+            "--csv", str(csv),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        from repro.obs.timeseries import series_to_csv
+
+        assert csv.read_text() == series_to_csv(envelope["series"])
+
     def test_from_file_rejects_wrong_kind(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"kind": "repro.network"}))

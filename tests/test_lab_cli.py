@@ -1,0 +1,149 @@
+"""Smoke tests for ``repro lab`` (the scenario experiment harness)."""
+
+import json
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+SCENARIO_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "scenarios"
+
+
+def write_tiny_scenario(tmp_path, **extra):
+    doc = {
+        "name": "cli-tiny",
+        "seed": 3,
+        "ticks": 3,
+        "topology": {"nodes": 16, "max_cs": 4},
+        "workload": {"streams": 4, "queries": 4, "joins": [1, 2]},
+        "trace": {"mode": "churn", "lifetime": 2.0},
+    }
+    doc.update(extra)
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["lab", "run", "s.json"])
+        assert args.lab_command == "run"
+        assert args.scenario == "s.json"
+        assert args.json is None and args.html is None and args.csv is None
+        assert not args.quiet
+        assert args.func.__name__ == "_cmd_lab"
+
+    def test_list_defaults_to_shipped_scenarios(self):
+        args = build_parser().parse_args(["lab", "list"])
+        assert args.directory == "benchmarks/scenarios"
+
+
+class TestLabRun:
+    def test_terminal_report(self, tmp_path, capsys):
+        rc = main(["lab", "run", str(write_tiny_scenario(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro lab -- scenario 'cli-tiny'" in out
+        assert "no_reuse" in out and "reuse" in out
+
+    def test_artifacts_and_quiet(self, tmp_path, capsys):
+        scenario = write_tiny_scenario(tmp_path)
+        html = tmp_path / "r.html"
+        envelope = tmp_path / "r.json"
+        csv = tmp_path / "r.csv"
+        rc = main([
+            "lab", "run", str(scenario), "--quiet",
+            "--html", str(html), "--json", str(envelope), "--csv", str(csv),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro lab --" not in out  # --quiet suppressed the table
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        doc = json.loads(envelope.read_text())
+        assert doc["kind"] == "repro.lab"
+        assert csv.read_text().startswith("candidate,series,time,value")
+
+    def test_json_to_stdout(self, tmp_path, capsys):
+        rc = main([
+            "lab", "run", str(write_tiny_scenario(tmp_path)),
+            "--quiet", "--json", "-",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [c["candidate"]["name"] for c in doc["candidates"]] == [
+            "no_reuse", "reuse",
+        ]
+
+    def test_missing_scenario_is_rc_2(self, tmp_path, capsys):
+        rc = main(["lab", "run", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_scenario_is_rc_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"trace": {"mode": "stampede"}}))
+        rc = main(["lab", "run", str(bad)])
+        assert rc == 2
+        assert "trace.mode" in capsys.readouterr().err
+
+
+class TestLabReport:
+    def roundtrip_envelope(self, tmp_path, capsys):
+        rc = main([
+            "lab", "run", str(write_tiny_scenario(tmp_path)),
+            "--quiet", "--json", str(tmp_path / "envelope.json"),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return tmp_path / "envelope.json"
+
+    def test_rerender_saved_envelope(self, tmp_path, capsys):
+        envelope = self.roundtrip_envelope(tmp_path, capsys)
+        rc = main(["lab", "report", str(envelope)])
+        assert rc == 0
+        assert "repro lab -- scenario 'cli-tiny'" in capsys.readouterr().out
+
+    def test_json_summary(self, tmp_path, capsys):
+        envelope = self.roundtrip_envelope(tmp_path, capsys)
+        rc = main(["lab", "report", str(envelope), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["scenario"]["name"] == "cli-tiny"
+        assert summary["table"]
+
+    def test_html_export_suppresses_terminal(self, tmp_path, capsys):
+        envelope = self.roundtrip_envelope(tmp_path, capsys)
+        html = tmp_path / "report.html"
+        rc = main(["lab", "report", str(envelope), "--html", str(html)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro lab -- scenario" not in out
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_non_envelope_is_rc_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"kind": "repro.telemetry"}))
+        rc = main(["lab", "report", str(bogus)])
+        assert rc == 2
+        assert "not a lab envelope" in capsys.readouterr().err
+
+
+class TestLabList:
+    def test_lists_shipped_scenarios(self, capsys):
+        rc = main(["lab", "list", "--dir", str(SCENARIO_DIR)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet_reuse.json" in out
+        assert "lab_smoke.json" in out
+
+    def test_json_rows(self, capsys):
+        rc = main(["lab", "list", "--dir", str(SCENARIO_DIR), "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {"fleet_reuse", "resources_hotspot"} <= {
+            r.get("name") for r in rows
+        }
+
+    def test_empty_dir(self, tmp_path, capsys):
+        rc = main(["lab", "list", "--dir", str(tmp_path)])
+        assert rc == 0
+        assert "no scenario files" in capsys.readouterr().out
